@@ -1,0 +1,242 @@
+// Command homesight runs the paper's analyses over a synthetic deployment
+// (or a single gateway CSV exported by homesim) and prints the results.
+//
+// Usage:
+//
+//	homesight <subcommand> [flags]
+//
+// Subcommands:
+//
+//	dominants   φ-dominant devices per gateway (Def. 4)
+//	motifs      weekly and daily motif discovery (Def. 5)
+//	aggregate   best aggregation-granularity curves (Def. 3)
+//	stationary  strong-stationarity census (Def. 2)
+//	background  background-traffic thresholds per device (Sec. 6.1)
+//	similarity  correlation similarity between two gateways (Def. 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"homesight/internal/background"
+	"homesight/internal/core"
+	"homesight/internal/dataset"
+	"homesight/internal/dominance"
+	"homesight/internal/experiments"
+	"homesight/internal/report"
+	"homesight/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("homesight: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	homes := fs.Int("homes", 60, "number of gateways to simulate")
+	weeks := fs.Int("weeks", 6, "campaign length in weeks")
+	seed := fs.Int64("seed", 0, "master seed (default 20140317)")
+	gatewayID := fs.String("gw", "", "restrict output to one gateway id")
+	dataDir := fs.String("data", "", "analyze a homesim export instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *dataDir != "" {
+		runFromData(cmd, *dataDir, *gatewayID)
+		return
+	}
+
+	env := experiments.NewEnv(synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed})
+
+	switch cmd {
+	case "dominants":
+		runDominants(env, *gatewayID)
+	case "motifs":
+		runMotifs(env)
+	case "aggregate":
+		runAggregate(env)
+	case "stationary":
+		runStationary(env)
+	case "background":
+		runBackground(env)
+	case "similarity":
+		runSimilarity(env, fs.Args())
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: homesight <subcommand> [flags]
+
+subcommands:
+  dominants    dominant devices per gateway (Definition 4)
+  motifs       weekly and daily motifs (Definition 5)
+  aggregate    aggregation curves and best binning (Definition 3)
+  stationary   strong stationarity census (Definition 2)
+  background   background thresholds per device (Sec 6.1)
+  similarity   correlation similarity of two gateways (Definition 1)
+
+common flags: -homes N -weeks N -seed N -gw gwNNN
+data mode:    -data DIR analyzes a homesim export (dominants, background)`)
+}
+
+// runFromData analyzes gateways loaded from a homesim export.
+func runFromData(cmd, dir, only string) {
+	man, gateways, err := dataset.LoadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d gateways (%d weeks from %s)",
+		len(gateways), man.Config.Weeks, man.Config.Start.Format("2006-01-02"))
+	switch cmd {
+	case "dominants":
+		det := core.Default.Detector()
+		t := report.NewTable("Dominant devices (φ=0.6)", "gateway", "rank", "device", "type", "similarity")
+		for _, g := range gateways {
+			if only != "" && g.ID != only {
+				continue
+			}
+			var devs []dominance.DeviceSeries
+			for _, dr := range g.Devices {
+				devs = append(devs, dominance.DeviceSeries{Device: dr.Device, Series: dr.Overall()})
+			}
+			out := det.Detect(g.Overall, devs)
+			for rank, sc := range out.Dominants {
+				t.AddRow(g.ID, rank+1, sc.Device.Name, string(sc.Device.Inferred), sc.Similarity)
+			}
+		}
+		fmt.Print(t.String())
+	case "background":
+		t := report.NewTable("Background thresholds", "gateway", "device", "type", "tau in", "tau out", "group")
+		for _, g := range gateways {
+			if only != "" && g.ID != only {
+				continue
+			}
+			for _, dr := range g.Devices {
+				th := background.EstimateThreshold(dr.In, dr.Out)
+				grp := background.GroupOf(math.Max(th.TauIn, th.TauOut))
+				t.AddRow(g.ID, dr.Device.Name, string(dr.Device.Inferred), th.TauIn, th.TauOut, string(grp))
+			}
+		}
+		fmt.Print(t.String())
+	default:
+		log.Fatalf("data mode supports the dominants and background subcommands, not %q", cmd)
+	}
+}
+
+func runDominants(env *experiments.Env, only string) {
+	res := experiments.Fig05DominantDevices(env)
+	fmt.Print(res)
+	if only != "" {
+		printGatewayDominants(env, only)
+	}
+}
+
+func printGatewayDominants(env *experiments.Env, id string) {
+	for i := 0; i < env.Dep.NumHomes(); i++ {
+		h := env.Home(i)
+		if h.ID != id {
+			continue
+		}
+		var devs []dominance.DeviceSeries
+		for _, dt := range h.Traffic() {
+			devs = append(devs, dominance.DeviceSeries{Device: dt.Spec.Device, Series: dt.Overall()})
+		}
+		out := env.Framework.Detector().Detect(h.Overall(), devs)
+		t := report.NewTable("Gateway "+id, "rank", "device", "type", "similarity", "traffic")
+		for r, sc := range out.Dominants {
+			t.AddRow(r+1, sc.Device.Name, string(sc.Device.Inferred), sc.Similarity, sc.Traffic)
+		}
+		fmt.Print(t.String())
+		return
+	}
+	log.Fatalf("gateway %q not found", id)
+}
+
+func runMotifs(env *experiments.Env) {
+	weekly, err := experiments.MineWeeklyMotifs(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(weekly)
+	fmt.Print(experiments.RenderProfiles("Weekly motifs of interest (Fig 11)",
+		experiments.WeeklyMotifsOfInterest(weekly)))
+
+	daily, err := experiments.MineDailyMotifs(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(daily)
+	fmt.Print(experiments.RenderProfiles("Daily motifs of interest (Fig 14)",
+		experiments.DailyMotifsOfInterest(daily)))
+}
+
+func runAggregate(env *experiments.Env) {
+	w, err := experiments.Fig06WeeklyAggregation(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(w)
+	d, err := experiments.Fig08DailyAggregation(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d)
+}
+
+func runStationary(env *experiments.Env) {
+	share, err := experiments.TabStationaryShare(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(share)
+	f7, err := experiments.Fig07StationaryGateways(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(f7)
+}
+
+func runBackground(env *experiments.Env) {
+	fmt.Print(experiments.Fig04BackgroundTau(env))
+}
+
+func runSimilarity(env *experiments.Env, ids []string) {
+	if len(ids) != 2 {
+		log.Fatal("similarity needs two gateway ids, e.g. gw001 gw002")
+	}
+	var series [][]float64
+	for _, id := range ids {
+		found := false
+		for i := 0; i < env.Dep.NumHomes(); i++ {
+			h := env.Home(i)
+			if h.ID != id {
+				continue
+			}
+			agg, err := h.Overall().FillMissing(0).Aggregate(3 * time.Hour)
+			if err != nil {
+				log.Fatal(err)
+			}
+			series = append(series, agg.Values)
+			found = true
+			break
+		}
+		if !found {
+			log.Fatalf("gateway %q not found", id)
+		}
+	}
+	sim := env.Framework.Similarity(series[0], series[1])
+	fmt.Printf("cor(%s, %s) = %.3f  (distance %.3f)\n", ids[0], ids[1], sim, 1-sim)
+}

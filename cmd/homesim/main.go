@@ -1,0 +1,109 @@
+// Command homesim generates a synthetic residential-gateway deployment and
+// writes it to disk as per-gateway CSV files plus a deployment manifest.
+//
+// Usage:
+//
+//	homesim -out data/ [-homes 196] [-weeks 8] [-seed 20140317] [-survey]
+//
+// Each gateway becomes <out>/<id>.csv in the dataset package's schema; the
+// manifest (<out>/deployment.json) records the configuration and per-home
+// ground truth (archetype, residents, reliability) for evaluation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"homesight/internal/dataset"
+	"homesight/internal/synth"
+)
+
+// manifest is the deployment-level ground truth written next to the CSVs.
+type manifest struct {
+	Config synth.Config   `json:"config"`
+	Homes  []manifestHome `json:"homes"`
+}
+
+type manifestHome struct {
+	ID          string `json:"id"`
+	Archetype   string `json:"archetype"`
+	Residents   int    `json:"residents"`
+	Reliability string `json:"reliability"`
+	Fiber       bool   `json:"fiber"`
+	Devices     int    `json:"devices"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("homesim: ")
+
+	out := flag.String("out", "data", "output directory")
+	homes := flag.Int("homes", 0, "number of gateways (default 196)")
+	weeks := flag.Int("weeks", 0, "campaign length in weeks (default 8)")
+	seed := flag.Int64("seed", 0, "master seed (default 20140317)")
+	survey := flag.Bool("survey", false, "include resident counts for the survey subset")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed}
+	dep := synth.NewDeployment(cfg)
+	cfg = dep.Config()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	man := manifest{Config: cfg}
+	for i := 0; i < dep.NumHomes(); i++ {
+		h := dep.Home(i)
+		g := dataset.FromSynthHome(h, 0, *survey && i < 49)
+		path := filepath.Join(*out, h.ID+".csv")
+		if err := writeGateway(path, g); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		man.Homes = append(man.Homes, manifestHome{
+			ID:          h.ID,
+			Archetype:   string(h.Archetype),
+			Residents:   h.Residents,
+			Reliability: string(h.Reliability),
+			Fiber:       h.Fiber,
+			Devices:     len(h.Devices),
+		})
+		if !*quiet && (i+1)%20 == 0 {
+			log.Printf("%d/%d gateways written", i+1, dep.NumHomes())
+		}
+	}
+
+	manPath := filepath.Join(*out, "deployment.json")
+	f, err := os.Create(manPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(man); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("wrote %d gateways and %s\n", dep.NumHomes(), manPath)
+	}
+}
+
+func writeGateway(path string, g *dataset.Gateway) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSV(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

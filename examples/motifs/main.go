@@ -1,0 +1,92 @@
+// Motif exploration: mine daily and weekly motifs across a deployment,
+// classify them into the paper's behavioural families (Figs. 11 and 14) and
+// print their shapes as sparklines, with the per-gateway participation of
+// Fig. 10.
+//
+//	go run ./examples/motifs
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"homesight/internal/core"
+	"homesight/internal/motif"
+	"homesight/internal/report"
+	"homesight/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	dep := synth.NewDeployment(synth.Config{Homes: 25, Weeks: 6})
+	fw := core.Default
+
+	daily := mine(dep, fw, false)
+	fmt.Printf("── daily motifs (3h bins, %d found) ─────────────────────\n", len(daily))
+	printMotifs(daily, func(p []float64) string { return string(motif.ClassifyDaily(p)) })
+
+	weekly := mine(dep, fw, true)
+	fmt.Printf("\n── weekly motifs (8h bins at 2am, %d found) ─────────────\n", len(weekly))
+	printMotifs(weekly, func(p []float64) string { return string(motif.ClassifyWeekly(p)) })
+
+	fmt.Println("\n── participation (Fig 10) ───────────────────────────────")
+	per := motif.PerGateway(daily)
+	type entry struct {
+		gw string
+		n  int
+	}
+	var entries []entry
+	for gw, n := range per {
+		entries = append(entries, entry{gw, n})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].n > entries[j].n })
+	for i, e := range entries {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %s participates in %d distinct daily motifs\n", e.gw, e.n)
+	}
+}
+
+// mine collects windows from every home and runs the Definition 5 miner.
+func mine(dep *synth.Deployment, fw core.Framework, weekly bool) []*motif.Motif {
+	var insts []motif.Instance
+	for i := 0; i < dep.NumHomes(); i++ {
+		h := dep.Home(i)
+		s := h.Overall().FillMissing(0)
+		var (
+			got []motif.Instance
+			err error
+		)
+		if weekly {
+			got, err = fw.WeeklyInstances(h.ID, s)
+		} else {
+			got, err = fw.DailyInstances(h.ID, s)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		insts = append(insts, got...)
+	}
+	return fw.Miner().Mine(insts)
+}
+
+func printMotifs(motifs []*motif.Motif, classify func([]float64) string) {
+	shown := 0
+	for _, m := range motifs {
+		if m.Support() < 3 {
+			continue
+		}
+		prof := m.MeanProfile()
+		fmt.Printf("  motif %-3d support %-4d repeat %3.0f%%  %-16s %s\n",
+			m.ID, m.Support(), m.RepeatShare()*100, classify(prof), report.Sparkline(prof))
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no motifs with support >= 3)")
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: a tour of the homesight analysis framework on a small
+// synthetic deployment — the five definitions of the paper in ~100 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"homesight/internal/aggregate"
+	"homesight/internal/background"
+	"homesight/internal/core"
+	"homesight/internal/dominance"
+	"homesight/internal/motif"
+	"homesight/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A deterministic 12-home, 4-week deployment.
+	dep := synth.NewDeployment(synth.Config{Homes: 12, Weeks: 4})
+	fw := core.Default
+
+	// ── Definition 1: correlation similarity ────────────────────────────
+	h0, h1 := dep.Home(0), dep.Home(1)
+	a, _ := h0.Overall().FillMissing(0).Aggregate(3 * time.Hour)
+	b, _ := h1.Overall().FillMissing(0).Aggregate(3 * time.Hour)
+	fmt.Printf("Def 1  cor(%s, %s) at 3h bins: %.3f\n", h0.ID, h1.ID, fw.Similarity(a.Values, b.Values))
+
+	// ── Sec 6.1: background removal ─────────────────────────────────────
+	dt := h0.Traffic()[0]
+	tau := fw.BackgroundTau(dt.In, dt.Out)
+	fmt.Printf("Sec6.1 device %q: τ=%.0f B/min, %.1f%% of observed minutes are active\n",
+		dt.Spec.Device.Name, tau, 100*background.ActiveFraction(dt.Overall(), tau))
+
+	// ── Definition 4: dominant devices ──────────────────────────────────
+	var devs []dominance.DeviceSeries
+	for _, d := range h0.Traffic() {
+		devs = append(devs, dominance.DeviceSeries{Device: d.Spec.Device, Series: d.Overall()})
+	}
+	dom := fw.Dominants(h0.Overall(), devs)
+	fmt.Printf("Def 4  %s has %d dominant device(s):\n", h0.ID, len(dom.Dominants))
+	for rank, sc := range dom.Dominants {
+		fmt.Printf("       #%d %-22s %-10s cor=%.2f\n",
+			rank+1, sc.Device.Name, sc.Device.Inferred, sc.Similarity)
+	}
+
+	// ── Definition 2: strong stationarity ───────────────────────────────
+	wins, err := aggregate.BestWeekly.Windows(h0.Overall().FillMissing(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var windows [][]float64
+	for _, w := range wins {
+		windows = append(windows, w.Values)
+	}
+	st := fw.StronglyStationary(windows)
+	fmt.Printf("Def 2  %s weekly (8h@2am): stationary=%v, min pairwise cor=%.2f\n",
+		h0.ID, st.Stationary, st.MinSimilarity)
+
+	// ── Definition 5: motifs across all homes ───────────────────────────
+	insts := collectDailyInstances(dep, fw)
+	motifs := fw.Miner().Mine(insts)
+	fmt.Printf("Def 5  %d daily motifs across %d homes; top supports:", len(motifs), dep.NumHomes())
+	for i, m := range motifs {
+		if i == 5 {
+			break
+		}
+		fmt.Printf(" %d", m.Support())
+	}
+	fmt.Println()
+}
+
+// collectDailyInstances gathers daily windows (3h bins) from every home.
+func collectDailyInstances(dep *synth.Deployment, fw core.Framework) []motif.Instance {
+	var out []motif.Instance
+	for i := 0; i < dep.NumHomes(); i++ {
+		h := dep.Home(i)
+		insts, err := fw.DailyInstances(h.ID, h.Overall().FillMissing(0))
+		if err != nil {
+			continue
+		}
+		out = append(out, insts...)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module homesight
+
+go 1.22

@@ -1,0 +1,199 @@
+// Package cluster implements agglomerative hierarchical clustering over a
+// precomputed distance matrix, used with the correlation distance
+// 1 − cor(·,·) to reproduce the similarity clusters of Fig. 3 (cut at
+// distance 0.4, i.e. correlation 0.6).
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// Linkage selects how inter-cluster distance is computed.
+type Linkage int
+
+// Linkage strategies.
+const (
+	// Average linkage (UPGMA): mean pairwise distance.
+	Average Linkage = iota
+	// Complete linkage: maximum pairwise distance.
+	Complete
+	// Single linkage: minimum pairwise distance.
+	Single
+)
+
+// ErrMatrix is returned for malformed distance matrices.
+var ErrMatrix = errors.New("cluster: distance matrix must be square and non-empty")
+
+// Node is a dendrogram node. Leaves have Left == Right == nil and Item set;
+// internal nodes carry the merge Height.
+type Node struct {
+	Left, Right *Node
+	// Item is the leaf's index into the original matrix (leaves only).
+	Item int
+	// Height is the distance at which the children merged (internal only).
+	Height float64
+	// size caches the number of leaves underneath.
+	size int
+}
+
+// Leaves returns the original item indices under the node, left to right.
+func (n *Node) Leaves() []int {
+	if n == nil {
+		return nil
+	}
+	if n.Left == nil && n.Right == nil {
+		return []int{n.Item}
+	}
+	return append(n.Left.Leaves(), n.Right.Leaves()...)
+}
+
+// Dendrogram is the result of a hierarchical clustering run.
+type Dendrogram struct {
+	Root *Node
+	// Heights lists every merge height in order, useful for diagnostics.
+	Heights []float64
+}
+
+// Agglomerate clusters items given their symmetric distance matrix.
+// The matrix must be square; only the upper triangle is read.
+func Agglomerate(dist [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, ErrMatrix
+	}
+	for _, row := range dist {
+		if len(row) != n {
+			return nil, ErrMatrix
+		}
+	}
+
+	// active clusters: node + member leaves.
+	type clusterState struct {
+		node   *Node
+		leaves []int
+	}
+	clusters := make([]*clusterState, n)
+	for i := 0; i < n; i++ {
+		clusters[i] = &clusterState{node: &Node{Item: i, size: 1}, leaves: []int{i}}
+	}
+
+	interDist := func(a, b *clusterState) float64 {
+		switch linkage {
+		case Single:
+			best := math.Inf(1)
+			for _, i := range a.leaves {
+				for _, j := range b.leaves {
+					if d := dist[i][j]; d < best {
+						best = d
+					}
+				}
+			}
+			return best
+		case Complete:
+			worst := math.Inf(-1)
+			for _, i := range a.leaves {
+				for _, j := range b.leaves {
+					if d := dist[i][j]; d > worst {
+						worst = d
+					}
+				}
+			}
+			return worst
+		default: // Average
+			sum := 0.0
+			for _, i := range a.leaves {
+				for _, j := range b.leaves {
+					sum += dist[i][j]
+				}
+			}
+			return sum / float64(len(a.leaves)*len(b.leaves))
+		}
+	}
+
+	dendro := &Dendrogram{}
+	for len(clusters) > 1 {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := interDist(clusters[i], clusters[j]); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		merged := &clusterState{
+			node: &Node{
+				Left:   clusters[bi].node,
+				Right:  clusters[bj].node,
+				Height: best,
+				size:   clusters[bi].node.size + clusters[bj].node.size,
+			},
+			leaves: append(append([]int{}, clusters[bi].leaves...), clusters[bj].leaves...),
+		}
+		dendro.Heights = append(dendro.Heights, best)
+		// Remove j first (higher index), then i.
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+		clusters[bi] = merged
+	}
+	dendro.Root = clusters[0].node
+	return dendro, nil
+}
+
+// Cut returns the clusters obtained by cutting the dendrogram at the given
+// height: maximal subtrees whose merge heights are all <= height. Each
+// cluster is a set of original item indices. With the correlation distance,
+// height 0.4 yields the paper's "correlation >= 0.6" clusters.
+func (d *Dendrogram) Cut(height float64) [][]int {
+	var out [][]int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Left == nil && n.Right == nil {
+			out = append(out, []int{n.Item})
+			return
+		}
+		if maxHeight(n) <= height {
+			out = append(out, n.Leaves())
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(d.Root)
+	return out
+}
+
+// maxHeight returns the largest merge height in the subtree.
+func maxHeight(n *Node) float64 {
+	if n == nil || (n.Left == nil && n.Right == nil) {
+		return 0
+	}
+	h := n.Height
+	if lh := maxHeight(n.Left); lh > h {
+		h = lh
+	}
+	if rh := maxHeight(n.Right); rh > h {
+		h = rh
+	}
+	return h
+}
+
+// DistanceMatrix builds a symmetric matrix by applying dist to every pair
+// of items. The diagonal is zero.
+func DistanceMatrix(n int, dist func(i, j int) float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist(i, j)
+			m[i][j] = d
+			m[j][i] = d
+		}
+	}
+	return m
+}

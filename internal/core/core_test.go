@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"homesight/internal/dominance"
+	"homesight/internal/timeseries"
+)
+
+var mon = time.Date(2014, 3, 17, 0, 0, 0, 0, time.UTC)
+
+func TestSimilarityAndDistance(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if Default.Similarity(x, x) != 1 {
+		t.Error("self similarity should be 1")
+	}
+	if Default.Distance(x, x) != 0 {
+		t.Error("self distance should be 0")
+	}
+}
+
+func TestStronglyStationaryDelegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []float64{1, 2, 8, 40, 80, 30, 10, 5}
+	wins := make([][]float64, 4)
+	for i := range wins {
+		w := make([]float64, len(base))
+		for j, v := range base {
+			w[j] = v * math.Exp(0.05*rng.NormFloat64())
+		}
+		wins[i] = w
+	}
+	if !Default.StronglyStationary(wins).Stationary {
+		t.Error("repeating windows should be stationary")
+	}
+}
+
+func TestInstancesUseBestSpecs(t *testing.T) {
+	// 2 weeks of per-minute data.
+	n := 15 * 24 * 60
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i % 1440)
+	}
+	s := timeseries.New(mon, time.Minute, vals)
+	weekly, err := Default.WeeklyInstances("gw0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weekly) != 2 {
+		t.Fatalf("weekly instances = %d, want 2", len(weekly))
+	}
+	if got := len(weekly[0].Window.Values); got != 21 {
+		t.Errorf("weekly points = %d, want 21", got)
+	}
+	if weekly[0].Window.Start.Hour() != 2 {
+		t.Errorf("weekly phase hour = %d, want 2", weekly[0].Window.Start.Hour())
+	}
+	daily, err := Default.DailyInstances("gw0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(daily) != 15 {
+		t.Fatalf("daily instances = %d, want 15", len(daily))
+	}
+	if got := len(daily[0].Window.Values); got != 8 {
+		t.Errorf("daily points = %d, want 8", got)
+	}
+}
+
+func TestInstancesSkipUnobserved(t *testing.T) {
+	n := 2 * 24 * 60
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.NaN()
+	}
+	for i := 0; i < 1440; i++ {
+		vals[i] = 1 // only day 0 observed
+	}
+	s := timeseries.New(mon, time.Minute, vals)
+	daily, err := Default.DailyInstances("gw0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(daily) != 1 {
+		t.Errorf("observed instances = %d, want 1", len(daily))
+	}
+}
+
+func TestEndToEndSmallPipeline(t *testing.T) {
+	// Minimal full-stack run on handcrafted data: background removal →
+	// dominance → daily motifs.
+	rng := rand.New(rand.NewSource(2))
+	days := 6
+	n := days * 24 * 60
+	devA := make([]float64, n) // evening streamer, drives the home
+	devB := make([]float64, n) // light chatter only
+	for m := 0; m < n; m++ {
+		hour := (m % 1440) / 60
+		devA[m] = 200 * rng.Float64()
+		if hour >= 20 && hour < 23 {
+			devA[m] += 3e6
+		}
+		devB[m] = 150 * rng.Float64()
+	}
+	gw := make([]float64, n)
+	for m := range gw {
+		gw[m] = devA[m] + devB[m]
+	}
+	sGW := timeseries.New(mon, time.Minute, gw)
+	sA := timeseries.New(mon, time.Minute, devA)
+	sB := timeseries.New(mon, time.Minute, devB)
+
+	// Background removal keeps the evening bursts.
+	tau := Default.BackgroundTau(sA, sB)
+	if tau <= 0 || tau > 5000 {
+		t.Fatalf("tau = %g", tau)
+	}
+	active := Default.ActiveTraffic(sGW, tau)
+	if active.Total() >= sGW.Total() {
+		t.Error("background removal should reduce total")
+	}
+
+	// Dominance: device A must dominate.
+	res := Default.Dominants(sGW, []dominance.DeviceSeries{
+		{Series: sA}, {Series: sB},
+	})
+	if len(res.Dominants) != 1 {
+		t.Fatalf("dominants = %d, want 1", len(res.Dominants))
+	}
+
+	// Daily motifs: six near-identical evening days → one motif.
+	insts, err := Default.DailyInstances("gw0", active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs := Default.MineMotifs(insts)
+	if len(motifs) != 1 || motifs[0].Support() != days {
+		t.Fatalf("motifs = %+v", motifs)
+	}
+}
+
+func TestAggregationSweeps(t *testing.T) {
+	// Tiny cohort; just verify the sweeps run and report sane structure.
+	rng := rand.New(rand.NewSource(3))
+	mk := func() *timeseries.Series {
+		n := 3 * 7 * 24 * 60
+		vals := make([]float64, n)
+		for m := range vals {
+			hour := (m % 1440) / 60
+			vals[m] = 100 * rng.Float64()
+			if hour >= 19 && hour < 23 && rng.Float64() < 0.3 {
+				vals[m] += 1e6
+			}
+		}
+		return timeseries.New(mon, time.Minute, vals)
+	}
+	cohort := []*timeseries.Series{mk(), mk()}
+	wPts, wBest, err := Default.BestWeeklyAggregation(cohort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wPts) == 0 || wBest.Bin == 0 {
+		t.Errorf("weekly sweep degenerate: %d points, best %v", len(wPts), wBest.Bin)
+	}
+	dPts, dBest, err := Default.BestDailyAggregation(cohort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dPts) != 8 || dBest.Bin == 0 {
+		t.Errorf("daily sweep degenerate: %d points", len(dPts))
+	}
+	// The 1-minute binning must never be the weekly winner on bursty data.
+	if wBest.Bin == time.Minute {
+		t.Error("1-minute binning should not win")
+	}
+}

@@ -1,0 +1,32 @@
+package corrsim_test
+
+import (
+	"fmt"
+
+	"homesight/internal/corrsim"
+)
+
+// Two homes with the same evening rhythm at different volumes are similar
+// under Definition 1, although their absolute values differ by 50x.
+func ExampleMeasure_Similarity() {
+	lightUser := []float64{0, 0, 1, 2, 30, 80, 60, 10}
+	heavyUser := []float64{0, 0, 50, 100, 1500, 4000, 3000, 500}
+	flatline := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+
+	fmt.Printf("same rhythm:  %.2f\n", corrsim.Default.Similarity(lightUser, heavyUser))
+	fmt.Printf("vs flatline:  %.2f\n", corrsim.Default.Similarity(lightUser, flatline))
+	// Output:
+	// same rhythm:  1.00
+	// vs flatline:  0.00
+}
+
+func ExampleInterpret() {
+	for _, c := range []float64{0.05, 0.2, 0.4, 0.8} {
+		fmt.Println(c, "→", corrsim.Interpret(c))
+	}
+	// Output:
+	// 0.05 → none
+	// 0.2 → low
+	// 0.4 → medium
+	// 0.8 → strong
+}

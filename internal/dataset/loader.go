@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Manifest is the deployment-level metadata written by cmd/homesim next to
+// the per-gateway CSVs.
+type Manifest struct {
+	Config struct {
+		Seed  int64     `json:"Seed"`
+		Homes int       `json:"Homes"`
+		Start time.Time `json:"Start"`
+		Weeks int       `json:"Weeks"`
+	} `json:"config"`
+	Homes []ManifestHome `json:"homes"`
+}
+
+// ManifestHome is one home's ground-truth record.
+type ManifestHome struct {
+	ID          string `json:"id"`
+	Archetype   string `json:"archetype"`
+	Residents   int    `json:"residents"`
+	Reliability string `json:"reliability"`
+	Fiber       bool   `json:"fiber"`
+	Devices     int    `json:"devices"`
+}
+
+// LoadDir reads a deployment exported by cmd/homesim: deployment.json plus
+// one <id>.csv per gateway. It returns the gateways in manifest order.
+func LoadDir(dir string) (*Manifest, []*Gateway, error) {
+	man, err := LoadManifest(filepath.Join(dir, "deployment.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	minutes := man.Config.Weeks * 7 * 24 * 60
+	var gateways []*Gateway
+	for _, mh := range man.Homes {
+		g, err := LoadGatewayCSV(filepath.Join(dir, mh.ID+".csv"), mh.ID, man.Config.Start, minutes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: loading %s: %w", mh.ID, err)
+		}
+		g.Residents = mh.Residents
+		gateways = append(gateways, g)
+	}
+	return man, gateways, nil
+}
+
+// LoadManifest reads and validates a deployment manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var man Manifest
+	if err := json.NewDecoder(f).Decode(&man); err != nil {
+		return nil, fmt.Errorf("dataset: parsing manifest: %w", err)
+	}
+	if man.Config.Weeks <= 0 || man.Config.Start.IsZero() {
+		return nil, fmt.Errorf("dataset: manifest missing campaign configuration")
+	}
+	if len(man.Homes) == 0 {
+		return nil, fmt.Errorf("dataset: manifest lists no homes")
+	}
+	return &man, nil
+}
+
+// LoadGatewayCSV reads one gateway's CSV export.
+func LoadGatewayCSV(path, id string, start time.Time, minutes int) (*Gateway, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, id, start, minutes)
+}
+
+// ListGatewayIDs returns the gateway IDs present in a directory (by .csv
+// files), sorted, without loading any traffic. Useful for partial loads.
+func ListGatewayIDs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".csv"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,210 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner takes an Env (a synthetic deployment plus
+// cohort caches) and returns a structured result that both the experiments
+// binary and the root benchmarks consume. DESIGN.md maps every runner to
+// its paper counterpart; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"homesight/internal/background"
+	"homesight/internal/core"
+	"homesight/internal/dataset"
+	"homesight/internal/synth"
+	"homesight/internal/timeseries"
+)
+
+// Env is the shared experiment environment: a deployment handle plus lazily
+// built cohort caches. Homes are regenerated on demand (generation is
+// deterministic and cheap) so only aggregate-level series are cached.
+type Env struct {
+	Dep *synth.Deployment
+	// Framework carries the paper's analysis parameters.
+	Framework core.Framework
+
+	// WeeksMain is the analysis window of most experiments (paper: 4).
+	WeeksMain int
+	// WeeksWeeklyMotif is the weekly-motif window (paper: 6).
+	WeeksWeeklyMotif int
+	// SurveyHomes is the size of the resident survey subset (paper: 49).
+	SurveyHomes int
+
+	gateways []*gatewayCache
+}
+
+// gatewayCache holds the per-home aggregate artifacts shared by the
+// aggregation and motif experiments.
+type gatewayCache struct {
+	id        string
+	index     int
+	residents int
+	surveyed  bool
+	archetype synth.Archetype
+
+	// raw is the full-campaign overall traffic.
+	raw *timeseries.Series
+	// active is raw with per-device background removed before summing.
+	active *timeseries.Series
+
+	weeklyCoverageMain  bool // >=1 obs every week of WeeksMain
+	weeklyCoverageMotif bool // >=1 obs every week of WeeksWeeklyMotif
+	dailyCoverageMain   bool // >=1 obs every day of WeeksMain
+}
+
+// NewEnv builds an environment over a deployment configuration. The paper's
+// deployment is DefaultConfig; tests and benchmarks shrink Homes/Weeks.
+func NewEnv(cfg synth.Config) *Env {
+	e := &Env{
+		Dep:              synth.NewDeployment(cfg),
+		WeeksMain:        4,
+		WeeksWeeklyMotif: 6,
+		SurveyHomes:      49,
+	}
+	if e.WeeksWeeklyMotif > e.Dep.Config().Weeks {
+		e.WeeksWeeklyMotif = e.Dep.Config().Weeks
+	}
+	if e.WeeksMain > e.Dep.Config().Weeks {
+		e.WeeksMain = e.Dep.Config().Weeks
+	}
+	return e
+}
+
+// Home regenerates home i (cheap and deterministic).
+func (e *Env) Home(i int) *synth.Home { return e.Dep.Home(i) }
+
+// ensureGateways builds the per-home aggregate cache on first use.
+func (e *Env) ensureGateways() {
+	if e.gateways != nil {
+		return
+	}
+	nHomes := e.Dep.NumHomes()
+	e.gateways = make([]*gatewayCache, 0, nHomes)
+	for i := 0; i < nHomes; i++ {
+		h := e.Home(i)
+		gc := &gatewayCache{
+			id:        h.ID,
+			index:     i,
+			residents: h.Residents,
+			surveyed:  i < e.SurveyHomes,
+			archetype: h.Archetype,
+			raw:       h.Overall(),
+			active:    ActiveOverall(h),
+		}
+		gc.weeklyCoverageMain = dataset.HasWeeklyCoverage(gc.raw, e.WeeksMain)
+		gc.weeklyCoverageMotif = dataset.HasWeeklyCoverage(gc.raw, e.WeeksWeeklyMotif)
+		gc.dailyCoverageMain = dataset.HasDailyCoverage(gc.raw, e.WeeksMain*7)
+		e.gateways = append(e.gateways, gc)
+	}
+}
+
+// ActiveOverall computes a home's aggregated *active* traffic: each
+// device's overall series is thresholded at its personal τ_back
+// (Sec. 6.1) before summing, so background chatter does not pollute the
+// aggregate patterns.
+func ActiveOverall(h *synth.Home) *timeseries.Series {
+	var sum *timeseries.Series
+	for _, dt := range h.Traffic() {
+		th := background.EstimateThreshold(dt.In, dt.Out)
+		act := dt.Overall().Threshold(th.Tau())
+		if sum == nil {
+			sum = act
+			continue
+		}
+		s, err := sum.Add(act)
+		if err != nil {
+			panic(err) // same grid by construction
+		}
+		sum = s
+	}
+	if sum == nil {
+		return h.Overall()
+	}
+	// Preserve gateway-off minutes as missing: Add treats NaN+x as x, but
+	// a minute where the gateway reported nothing must stay NaN.
+	raw := h.Overall()
+	out := sum.Clone()
+	for i, v := range raw.Values {
+		if math.IsNaN(v) {
+			out.Values[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// WeeklyCohort returns the active series of homes with weekly coverage over
+// the first `weeks` weeks, truncated to that span.
+func (e *Env) WeeklyCohort(weeks int) (ids []string, series []*timeseries.Series) {
+	e.ensureGateways()
+	for _, gc := range e.gateways {
+		covered := gc.weeklyCoverageMain
+		if weeks == e.WeeksWeeklyMotif {
+			covered = gc.weeklyCoverageMotif
+		}
+		if weeks != e.WeeksMain && weeks != e.WeeksWeeklyMotif {
+			covered = dataset.HasWeeklyCoverage(gc.raw, weeks)
+		}
+		if !covered {
+			continue
+		}
+		ids = append(ids, gc.id)
+		series = append(series, truncate(gc.active, weeks*7))
+	}
+	return ids, series
+}
+
+// DailyCohort returns the active series of homes with daily coverage over
+// the first WeeksMain weeks.
+func (e *Env) DailyCohort() (ids []string, series []*timeseries.Series) {
+	e.ensureGateways()
+	for _, gc := range e.gateways {
+		if !gc.dailyCoverageMain {
+			continue
+		}
+		ids = append(ids, gc.id)
+		series = append(series, truncate(gc.active, e.WeeksMain*7))
+	}
+	return ids, series
+}
+
+// RawOverall returns the raw overall series of home i, truncated to days.
+func (e *Env) RawOverall(i, days int) *timeseries.Series {
+	e.ensureGateways()
+	return truncate(e.gateways[i].raw, days)
+}
+
+// truncate slices a minute series to the first `days` days.
+func truncate(s *timeseries.Series, days int) *timeseries.Series {
+	return s.Between(s.Start, s.Start.Add(time.Duration(days)*timeseries.Day))
+}
+
+// TopObservedGateways returns the indices of the k homes with the most
+// observations during the first week — the paper's "most representative
+// gateways" of Sec. 4.1.
+func (e *Env) TopObservedGateways(k int) []int {
+	e.ensureGateways()
+	type pair struct{ idx, obs int }
+	pairs := make([]pair, 0, len(e.gateways))
+	for i, gc := range e.gateways {
+		pairs = append(pairs, pair{i, truncate(gc.raw, 7).ObservedCount()})
+	}
+	// Selection sort for the top k: n is small (hundreds).
+	for sel := 0; sel < k && sel < len(pairs); sel++ {
+		best := sel
+		for j := sel + 1; j < len(pairs); j++ {
+			if pairs[j].obs > pairs[best].obs {
+				best = j
+			}
+		}
+		pairs[sel], pairs[best] = pairs[best], pairs[sel]
+	}
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = pairs[i].idx
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package motif
+
+import "homesight/internal/stats"
+
+// WeeklyClass labels the behavioural family of a weekly motif, mirroring
+// the motifs of interest in Fig. 11.
+type WeeklyClass string
+
+// Weekly motif families.
+const (
+	WeeklyHeavyWeekend WeeklyClass = "heavy_weekend" // motif1-style
+	WeeklyEveryday     WeeklyClass = "everyday"      // motif2-style
+	WeeklyWorkdays     WeeklyClass = "workdays"      // motif3-style
+	WeeklyOther        WeeklyClass = "other"
+)
+
+// ClassifyWeekly labels a weekly motif profile of 21 points (7 days × 3
+// 8-hour bins, Monday first) by where its energy concentrates. A uniform
+// week would put 2/7 ≈ 0.29 of its energy on the weekend.
+func ClassifyWeekly(profile []float64) WeeklyClass {
+	if len(profile) != 21 {
+		return WeeklyOther
+	}
+	total := stats.Sum(profile)
+	if total <= 0 {
+		return WeeklyOther
+	}
+	weekend := 0.0
+	for i := 15; i < 21; i++ { // Saturday and Sunday bins
+		weekend += profile[i]
+	}
+	share := weekend / total
+	switch {
+	case share > 0.42:
+		return WeeklyHeavyWeekend
+	case share < 0.17:
+		return WeeklyWorkdays
+	default:
+		return WeeklyEveryday
+	}
+}
+
+// DailyClass labels the behavioural family of a daily motif, mirroring the
+// motifs of interest in Fig. 14.
+type DailyClass string
+
+// Daily motif families.
+const (
+	DailyAfternoon      DailyClass = "afternoon"       // motifA-style
+	DailyLateEvening    DailyClass = "late_evening"    // motifB-style
+	DailyMorningEvening DailyClass = "morning_evening" // motifC-style
+	DailyAllDay         DailyClass = "all_day"         // motifD-style
+	DailyOther          DailyClass = "other"
+)
+
+// ClassifyDaily labels a daily motif profile of 8 points (3-hour bins from
+// midnight). Bin semantics: 0-1 night, 2-3 morning, 4-5 afternoon, 6-7
+// evening.
+func ClassifyDaily(profile []float64) DailyClass {
+	if len(profile) != 8 {
+		return DailyOther
+	}
+	total := stats.Sum(profile)
+	if total <= 0 {
+		return DailyOther
+	}
+	morning := (profile[2] + profile[3]) / total
+	afternoon := (profile[4] + profile[5]) / total
+	evening := (profile[6] + profile[7]) / total
+	// Late evening spills past midnight, but must be anchored in the
+	// 21:00-24:00 bin — pure small-hours activity is something else.
+	late := (profile[7] + profile[0]) / total
+	if profile[7]/total < 0.15 {
+		late = 0
+	}
+
+	switch {
+	// All-day: every daytime period carries real load.
+	case morning > 0.15 && afternoon > 0.15 && evening > 0.15:
+		return DailyAllDay
+	case morning > 0.2 && evening > 0.3:
+		return DailyMorningEvening
+	case late > 0.45 || evening > 0.45:
+		return DailyLateEvening
+	case afternoon > 0.4:
+		return DailyAfternoon
+	default:
+		return DailyOther
+	}
+}

@@ -1,0 +1,47 @@
+package motif_test
+
+import (
+	"fmt"
+	"time"
+
+	"homesight/internal/motif"
+	"homesight/internal/timeseries"
+)
+
+// Five homes share an evening pattern on different days; two windows are
+// noise. The miner groups the evenings into one motif and discards the
+// unrepeated windows.
+func ExampleMiner_Mine() {
+	mon := time.Date(2014, 3, 17, 0, 0, 0, 0, time.UTC)
+	day := func(gw string, d int, vals []float64) motif.Instance {
+		return motif.Instance{
+			GatewayID: gw,
+			Window:    timeseries.Window{Start: mon.AddDate(0, 0, d), Values: vals, Ordinal: d},
+		}
+	}
+	evening := []float64{10, 5, 20, 40, 60, 90, 6000, 4500}
+	instances := []motif.Instance{
+		day("gw01", 0, evening),
+		day("gw01", 1, scale(evening, 2)), // same shape, twice the volume
+		day("gw02", 2, scale(evening, 0.5)),
+		day("gw03", 3, scale(evening, 10)),
+		day("gw03", 4, evening),
+		day("gw04", 5, []float64{9000, 8000, 50, 20, 10, 5, 0, 0}),    // night owl, once
+		day("gw05", 6, []float64{3, 700, 80, 9000, 2, 400, 60, 1000}), // chaos, once
+	}
+	motifs := motif.Default.Mine(instances)
+	for _, m := range motifs {
+		fmt.Printf("motif %d: support %d, gateways %d, class %s\n",
+			m.ID, m.Support(), len(m.Gateways()), motif.ClassifyDaily(m.MeanProfile()))
+	}
+	// Output:
+	// motif 0: support 5, gateways 3, class late_evening
+}
+
+func scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * f
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+// Package motif implements Definition 5 of the paper: a motif is a set of
+// calendar-aligned, non-overlapping windows (produced by the mapping W over
+// one or many gateways) such that every member is very similar (cor >= φ)
+// to at least one other member and reasonably similar (cor >= ¾φ) to all of
+// them. Motifs whose members are mutually similar above the merge threshold
+// are combined. Support is the number of member windows.
+package motif
+
+import (
+	"sort"
+
+	"homesight/internal/corrsim"
+	"homesight/internal/timeseries"
+)
+
+// DefaultPhi is the paper's individual-similarity threshold (0.8).
+const DefaultPhi = 0.8
+
+// DefaultGroupFraction is the paper's group-similarity fraction (3/4,
+// giving 0.6 at φ = 0.8).
+const DefaultGroupFraction = 0.75
+
+// DefaultMergeThreshold is the cross-motif combination threshold (0.6).
+const DefaultMergeThreshold = 0.6
+
+// Instance is one candidate window: a period of one gateway's traffic.
+type Instance struct {
+	// GatewayID identifies the gateway the window came from.
+	GatewayID string
+	// Window is the aggregated traffic window (8h bins for weekly motifs,
+	// 3h bins for daily motifs in the paper's best configuration).
+	Window timeseries.Window
+}
+
+// Motif is a discovered motif: a set of mutually similar instances.
+type Motif struct {
+	// ID is a stable index assigned by the miner (by discovery order).
+	ID int
+	// Members are the instances, in insertion order.
+	Members []Instance
+}
+
+// Support is the number of member windows (the paper's k).
+func (m *Motif) Support() int { return len(m.Members) }
+
+// Gateways returns the distinct gateway IDs contributing to the motif.
+func (m *Motif) Gateways() map[string]int {
+	out := make(map[string]int)
+	for _, inst := range m.Members {
+		out[inst.GatewayID]++
+	}
+	return out
+}
+
+// RepeatShare is the fraction of members coming from gateways that
+// contribute more than one member — the "% occur within the same gateways"
+// annotation of Figs. 11 and 14.
+func (m *Motif) RepeatShare() float64 {
+	if len(m.Members) == 0 {
+		return 0
+	}
+	byGW := m.Gateways()
+	repeat := 0
+	for _, inst := range m.Members {
+		if byGW[inst.GatewayID] > 1 {
+			repeat++
+		}
+	}
+	return float64(repeat) / float64(len(m.Members))
+}
+
+// MeanProfile returns the member-wise mean of max-normalized windows: each
+// member is scaled to peak 1 before averaging, so the profile captures the
+// shared shape rather than absolute volume.
+func (m *Motif) MeanProfile() []float64 {
+	if len(m.Members) == 0 {
+		return nil
+	}
+	points := len(m.Members[0].Window.Values)
+	prof := make([]float64, points)
+	counted := 0
+	for _, inst := range m.Members {
+		vals := inst.Window.Values
+		if len(vals) != points {
+			continue
+		}
+		peak := 0.0
+		for _, v := range vals {
+			if v == v && v > peak {
+				peak = v
+			}
+		}
+		if peak == 0 {
+			continue
+		}
+		for i, v := range vals {
+			if v == v {
+				prof[i] += v / peak
+			}
+		}
+		counted++
+	}
+	if counted == 0 {
+		return prof
+	}
+	for i := range prof {
+		prof[i] /= float64(counted)
+	}
+	return prof
+}
+
+// Miner discovers motifs per Definition 5.
+type Miner struct {
+	// Measure is the similarity measure (zero value = α 0.05).
+	Measure corrsim.Measure
+	// Phi is the individual-similarity threshold (0 → 0.8).
+	Phi float64
+	// GroupFraction scales Phi into the group threshold (0 → 3/4).
+	GroupFraction float64
+	// MergeThreshold combines motifs whose cross-pairs all exceed it
+	// (0 → 0.6).
+	MergeThreshold float64
+	// MinSupport drops motifs with fewer members from the result (0 → 2:
+	// an unrepeated window is not a recurring pattern).
+	MinSupport int
+}
+
+// Default is the paper's miner: φ = 0.8, group 0.6, merge 0.6.
+var Default = Miner{}
+
+func (mn Miner) phi() float64 {
+	if mn.Phi == 0 {
+		return DefaultPhi
+	}
+	return mn.Phi
+}
+
+func (mn Miner) groupThreshold() float64 {
+	f := mn.GroupFraction
+	if f == 0 {
+		f = DefaultGroupFraction
+	}
+	return f * mn.phi()
+}
+
+func (mn Miner) mergeThreshold() float64 {
+	if mn.MergeThreshold == 0 {
+		return DefaultMergeThreshold
+	}
+	return mn.MergeThreshold
+}
+
+func (mn Miner) minSupport() int {
+	if mn.MinSupport == 0 {
+		return 2
+	}
+	return mn.MinSupport
+}
+
+// Mine discovers motifs among the instances. The construction is greedy in
+// input order: each window joins the best existing motif it satisfies
+// Definition 5 against (individual similarity with at least one member,
+// group similarity with all), otherwise it seeds a new candidate. A final
+// pass merges motifs whose members are all mutually similar above the merge
+// threshold, then drops candidates below MinSupport.
+func (mn Miner) Mine(instances []Instance) []*Motif {
+	phi := mn.phi()
+	group := mn.groupThreshold()
+
+	var motifs []*Motif
+	for _, inst := range instances {
+		bestIdx := -1
+		bestSim := 0.0
+		for mi, m := range motifs {
+			maxSim, minSim := mn.similarityRange(inst, m)
+			if maxSim >= phi && minSim >= group && maxSim > bestSim {
+				bestIdx, bestSim = mi, maxSim
+			}
+		}
+		if bestIdx >= 0 {
+			motifs[bestIdx].Members = append(motifs[bestIdx].Members, inst)
+		} else {
+			motifs = append(motifs, &Motif{Members: []Instance{inst}})
+		}
+	}
+
+	motifs = mn.merge(motifs)
+
+	out := motifs[:0]
+	for _, m := range motifs {
+		if m.Support() >= mn.minSupport() {
+			out = append(out, m)
+		}
+	}
+	// Largest support first, stable; then assign IDs.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Support() > out[j].Support() })
+	for i, m := range out {
+		m.ID = i
+	}
+	return out
+}
+
+// similarityRange returns the max and min similarity between the instance
+// and the motif's members.
+func (mn Miner) similarityRange(inst Instance, m *Motif) (maxSim, minSim float64) {
+	minSim = 1
+	for _, mem := range m.Members {
+		s := mn.Measure.Similarity(inst.Window.Values, mem.Window.Values)
+		if s > maxSim {
+			maxSim = s
+		}
+		if s < minSim {
+			minSim = s
+		}
+	}
+	return maxSim, minSim
+}
+
+// merge combines motifs whose cross-member similarities all exceed the
+// merge threshold, repeating until a fixed point.
+func (mn Miner) merge(motifs []*Motif) []*Motif {
+	thr := mn.mergeThreshold()
+	for {
+		merged := false
+	outer:
+		for i := 0; i < len(motifs); i++ {
+			for j := i + 1; j < len(motifs); j++ {
+				if mn.allCrossAbove(motifs[i], motifs[j], thr) {
+					motifs[i].Members = append(motifs[i].Members, motifs[j].Members...)
+					motifs = append(motifs[:j], motifs[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+		if !merged {
+			return motifs
+		}
+	}
+}
+
+// allCrossAbove reports whether every cross pair of the two motifs clears
+// the threshold. Single-member "motifs" (unassigned windows) are not worth
+// merging — they already failed to join during construction.
+func (mn Miner) allCrossAbove(a, b *Motif, thr float64) bool {
+	if a.Support() < 2 || b.Support() < 2 {
+		return false
+	}
+	for _, x := range a.Members {
+		for _, y := range b.Members {
+			if mn.Measure.Similarity(x.Window.Values, y.Window.Values) < thr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OfInterest filters motifs by minimum support — the paper's "motifs of
+// interest with high support values".
+func OfInterest(motifs []*Motif, minSupport int) []*Motif {
+	var out []*Motif
+	for _, m := range motifs {
+		if m.Support() >= minSupport {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PerGateway returns, for each gateway, the number of distinct motifs it
+// participates in (Fig. 10).
+func PerGateway(motifs []*Motif) map[string]int {
+	seen := make(map[string]map[int]bool)
+	for _, m := range motifs {
+		for _, inst := range m.Members {
+			if seen[inst.GatewayID] == nil {
+				seen[inst.GatewayID] = make(map[int]bool)
+			}
+			seen[inst.GatewayID][m.ID] = true
+		}
+	}
+	out := make(map[string]int, len(seen))
+	for gw, set := range seen {
+		out[gw] = len(set)
+	}
+	return out
+}
+
+// SupportHistogram returns the support values of all motifs, descending
+// (the raw material of Fig. 9).
+func SupportHistogram(motifs []*Motif) []int {
+	out := make([]int, len(motifs))
+	for i, m := range motifs {
+		out[i] = m.Support()
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,60 @@
+package motif
+
+// Online is an incremental motif matcher: windows are assigned to motifs as
+// they arrive, without re-examining the past. It realizes the paper's
+// stated future work — motif extraction inside a streaming analytics
+// pipeline — and is used by the telemetry streaming stage.
+//
+// Online trades the final merge pass of Mine for O(1) amortized decisions
+// per window: motifs that drift together stay separate until Consolidate is
+// called.
+type Online struct {
+	// Miner supplies the thresholds (zero value = paper defaults).
+	Miner Miner
+
+	motifs []*Motif
+}
+
+// Add assigns the instance to the best matching existing motif per
+// Definition 5, or seeds a new candidate. It returns the motif's position
+// in Motifs() (stable across Adds, invalidated by Consolidate).
+func (o *Online) Add(inst Instance) int {
+	phi := o.Miner.phi()
+	group := o.Miner.groupThreshold()
+	bestIdx := -1
+	bestSim := 0.0
+	for mi, m := range o.motifs {
+		maxSim, minSim := o.Miner.similarityRange(inst, m)
+		if maxSim >= phi && minSim >= group && maxSim > bestSim {
+			bestIdx, bestSim = mi, maxSim
+		}
+	}
+	if bestIdx >= 0 {
+		o.motifs[bestIdx].Members = append(o.motifs[bestIdx].Members, inst)
+		return bestIdx
+	}
+	o.motifs = append(o.motifs, &Motif{ID: len(o.motifs), Members: []Instance{inst}})
+	return len(o.motifs) - 1
+}
+
+// Motifs returns the current candidates, including singletons (windows
+// that have not recurred yet).
+func (o *Online) Motifs() []*Motif { return o.motifs }
+
+// Consolidate runs the merge pass and support filter of Mine over the
+// accumulated candidates and returns the finished motif set. The online
+// state is reset to the consolidated motifs.
+func (o *Online) Consolidate() []*Motif {
+	merged := o.Miner.merge(o.motifs)
+	out := merged[:0]
+	for _, m := range merged {
+		if m.Support() >= o.Miner.minSupport() {
+			out = append(out, m)
+		}
+	}
+	for i, m := range out {
+		m.ID = i
+	}
+	o.motifs = out
+	return out
+}

@@ -1,0 +1,65 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineMatchesBatchOnCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var insts []Instance
+	for d := 0; d < 8; d++ {
+		insts = append(insts, inst("gwA", d, eveningShape(rng, 0.05)))
+	}
+	for d := 8; d < 13; d++ {
+		insts = append(insts, inst("gwB", d, morningShape(rng, 0.05)))
+	}
+
+	var online Online
+	for _, in := range insts {
+		online.Add(in)
+	}
+	got := online.Consolidate()
+	want := Default.Mine(insts)
+	if len(got) != len(want) {
+		t.Fatalf("online found %d motifs, batch %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Support() != want[i].Support() {
+			t.Errorf("motif %d: online support %d, batch %d", i, got[i].Support(), want[i].Support())
+		}
+	}
+}
+
+func TestOnlineAddReturnsStableIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var online Online
+	first := online.Add(inst("gw", 0, eveningShape(rng, 0.02)))
+	second := online.Add(inst("gw", 1, eveningShape(rng, 0.02)))
+	other := online.Add(inst("gw", 2, morningShape(rng, 0.02)))
+	if first != second {
+		t.Errorf("same-shape windows landed in different motifs: %d vs %d", first, second)
+	}
+	if other == first {
+		t.Error("different shape joined the same motif")
+	}
+	if len(online.Motifs()) != 2 {
+		t.Errorf("motifs = %d, want 2", len(online.Motifs()))
+	}
+}
+
+func TestOnlineConsolidateDropsSingletons(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var online Online
+	online.Add(inst("gw", 0, eveningShape(rng, 0.02)))
+	online.Add(inst("gw", 1, eveningShape(rng, 0.02)))
+	online.Add(inst("gw", 2, morningShape(rng, 0.02))) // never recurs
+	final := online.Consolidate()
+	if len(final) != 1 || final[0].Support() != 2 {
+		t.Fatalf("consolidated = %+v", final)
+	}
+	// State resets to the survivors.
+	if len(online.Motifs()) != 1 {
+		t.Errorf("online state = %d motifs after consolidate", len(online.Motifs()))
+	}
+}

@@ -1,0 +1,161 @@
+// Package report renders experiment results as plain text: aligned tables,
+// horizontal bar histograms and unicode sparklines. The experiment binaries
+// use it to print every figure and table of the paper in a terminal.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless already strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if math.Abs(v) >= 1e6 || (math.Abs(v) < 1e-3 && v != 0) {
+		return fmt.Sprintf("%.3g", v)
+	}
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Bars renders labeled horizontal bars scaled to maxWidth characters.
+func Bars(title string, labels []string, values []float64, maxWidth int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * float64(maxWidth)))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %s\n", maxLabel, labels[i], strings.Repeat("#", n), formatFloat(v))
+	}
+	return b.String()
+}
+
+// sparkLevels are the eight block glyphs of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode sparkline; NaNs print as spaces.
+func Sparkline(values []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Histogram renders integer bin counts as bars with range labels.
+func Histogram(title string, lo, width float64, counts []int, maxWidth int) string {
+	labels := make([]string, len(counts))
+	values := make([]float64, len(counts))
+	for i, c := range counts {
+		labels[i] = fmt.Sprintf("[%s, %s)", formatFloat(lo+float64(i)*width), formatFloat(lo+float64(i+1)*width))
+		values[i] = float64(c)
+	}
+	return Bars(title, labels, values, maxWidth)
+}

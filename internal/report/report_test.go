@@ -1,0 +1,92 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("much-longer-name", 42)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	// Header and rows must align on the same column offset.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[3], "1.500")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN(): "-",
+		3:          "3",
+		0.12345:    "0.123",
+		1.5e7:      "1.5e+07",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("B", []string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("out:\n%s", out)
+	}
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar should reach full width: %q", lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Errorf("half bar should be half width: %q", lines[1])
+	}
+	// Zero max doesn't divide by zero.
+	if out := Bars("", []string{"x"}, []float64{0}, 10); !strings.Contains(out, "x") {
+		t.Error("zero bars broke")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline ends = %q", s)
+	}
+	// NaN becomes a space; all-NaN becomes all spaces.
+	withNaN := Sparkline([]float64{math.NaN(), 1})
+	if []rune(withNaN)[0] != ' ' {
+		t.Errorf("NaN sparkline = %q", withNaN)
+	}
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); got != "  " {
+		t.Errorf("all-NaN = %q", got)
+	}
+	// Constant series renders the lowest glyph, not a panic.
+	if got := Sparkline([]float64{5, 5}); got != "▁▁" {
+		t.Errorf("constant = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("H", 0, 10, []int{1, 3}, 6)
+	if !strings.Contains(out, "[0, 10)") || !strings.Contains(out, "[10, 20)") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "######") {
+		t.Errorf("max bar missing:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package stationarity_test
+
+import (
+	"fmt"
+
+	"homesight/internal/stationarity"
+)
+
+// A home that repeats the same three-slot day every week is strongly
+// stationary; scaling one week by 100x preserves the correlation half of
+// Definition 2 but fails the Kolmogorov–Smirnov half.
+func ExampleChecker_Check() {
+	week := func(scale float64) []float64 {
+		out := make([]float64, 21) // 7 days x 3 8-hour slots
+		for d := 0; d < 7; d++ {
+			out[d*3+0] = 10 * scale   // morning
+			out[d*3+1] = 100 * scale  // working hours
+			out[d*3+2] = 5000 * scale // evening
+			out[d*3+2] += float64(d)  // tiny day-to-day texture
+		}
+		return out
+	}
+	regular := [][]float64{week(1), week(1.02), week(0.98), week(1.01)}
+	res := stationarity.Default.Check(regular)
+	fmt.Printf("regular weeks: stationary=%v pairs=%d\n", res.Stationary, res.Pairs)
+
+	shifted := [][]float64{week(1), week(1.02), week(100)}
+	res2 := stationarity.Default.Check(shifted)
+	fmt.Printf("scaled week:   stationary=%v corr-failures=%d ks-failures>0=%v\n",
+		res2.Stationary, res2.CorrFailures, res2.KSFailures > 0)
+	// Output:
+	// regular weeks: stationary=true pairs=6
+	// scaled week:   stationary=false corr-failures=0 ks-failures>0=true
+}

@@ -1,0 +1,39 @@
+package corr
+
+// PACF returns the sample partial autocorrelation function of x at lags
+// 1..maxLag via the Durbin–Levinson recursion on the sample ACF. The PACF
+// is the Box–Jenkins order-identification tool for AR models; on bursty
+// traffic it confirms the paper's observation that low-order ARIMA
+// structure carries almost no predictive power for the active bursts.
+func PACF(x []float64, maxLag int) []float64 {
+	if maxLag < 1 {
+		return nil
+	}
+	acf := ACF(x, maxLag)
+	pacf := make([]float64, maxLag)
+
+	// Durbin–Levinson: phi[k][j] coefficients, phi[k][k] is the PACF at k.
+	phi := make([]float64, maxLag+1)
+	prev := make([]float64, maxLag+1)
+	v := 1.0 // normalized innovation variance
+	for k := 1; k <= maxLag; k++ {
+		acc := acf[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j] * acf[k-j]
+		}
+		if v == 0 {
+			// Degenerate (perfectly predictable) series: remaining partial
+			// correlations are zero.
+			break
+		}
+		reflection := acc / v
+		phi[k] = reflection
+		for j := 1; j < k; j++ {
+			phi[j] = prev[j] - reflection*prev[k-j]
+		}
+		v *= 1 - reflection*reflection
+		copy(prev, phi)
+		pacf[k-1] = reflection
+	}
+	return pacf
+}

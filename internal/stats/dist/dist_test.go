@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	n := StdNormal
+	approx(t, "Phi(0)", n.CDF(0), 0.5, 1e-14)
+	approx(t, "Phi(1.96)", n.CDF(1.959963985), 0.975, 1e-9)
+	approx(t, "Phi(-1)", n.CDF(-1), 0.15865525393146, 1e-10)
+	approx(t, "Phi(2.5758)", n.CDF(2.5758293), 0.995, 1e-7)
+	scaled := Normal{Mu: 10, Sigma: 2}
+	approx(t, "shifted", scaled.CDF(12), n.CDF(1), 1e-12)
+}
+
+func TestNormalQuantileRoundtrip(t *testing.T) {
+	n := Normal{Mu: -3, Sigma: 0.7}
+	for _, p := range []float64{0.001, 0.025, 0.5, 0.9, 0.999} {
+		approx(t, "roundtrip", n.CDF(n.Quantile(p)), p, 1e-10)
+	}
+	approx(t, "z(.975)", StdNormal.Quantile(0.975), 1.959963985, 1e-7)
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoid integration of the density should match the CDF increment.
+	n := Normal{Mu: 1, Sigma: 2}
+	const a, b = -2.0, 3.0
+	const steps = 20000
+	h := (b - a) / steps
+	sum := (n.PDF(a) + n.PDF(b)) / 2
+	for i := 1; i < steps; i++ {
+		sum += n.PDF(a + float64(i)*h)
+	}
+	approx(t, "integral", sum*h, n.CDF(b)-n.CDF(a), 1e-8)
+}
+
+func TestStudentsT(t *testing.T) {
+	// Reference values: pt(2.0, df=10) = 0.96330598, pt(1.0, df=1) = 0.75.
+	approx(t, "pt(2,10)", StudentsT{DF: 10}.CDF(2), 0.96330598, 1e-7)
+	approx(t, "pt(1,1)", StudentsT{DF: 1}.CDF(1), 0.75, 1e-10)
+	approx(t, "pt(0,5)", StudentsT{DF: 5}.CDF(0), 0.5, 1e-14)
+	// t with df=1 is Cauchy: CDF(x) = 1/2 + atan(x)/pi.
+	for _, x := range []float64{-3, -0.5, 0.2, 4} {
+		approx(t, "cauchy", StudentsT{DF: 1}.CDF(x), 0.5+math.Atan(x)/math.Pi, 1e-10)
+	}
+	// Large df converges to normal.
+	approx(t, "t~N", StudentsT{DF: 1e6}.CDF(1.2), StdNormal.CDF(1.2), 1e-5)
+}
+
+func TestStudentsTTwoSided(t *testing.T) {
+	d := StudentsT{DF: 7}
+	for _, x := range []float64{0.3, 1.5, 2.9} {
+		want := 2 * d.Survival(x)
+		approx(t, "two-sided", d.TwoSidedP(x), want, 1e-12)
+		approx(t, "symmetric", d.TwoSidedP(-x), want, 1e-12)
+	}
+}
+
+func TestStudentsTQuantile(t *testing.T) {
+	// qt(0.975, 10) = 2.228139.
+	approx(t, "qt(.975,10)", StudentsT{DF: 10}.Quantile(0.975), 2.228139, 1e-5)
+	for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+		d := StudentsT{DF: 4}
+		approx(t, "roundtrip", d.CDF(d.Quantile(p)), p, 1e-9)
+	}
+}
+
+func TestChiSquared(t *testing.T) {
+	// Chi2 with 2 df is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 2, 7} {
+		approx(t, "chi2(2)", ChiSquared{DF: 2}.CDF(x), 1-math.Exp(-x/2), 1e-12)
+	}
+	// pchisq(3.841459, 1) = 0.95.
+	approx(t, "chi2(1) crit", ChiSquared{DF: 1}.CDF(3.841459), 0.95, 1e-6)
+	approx(t, "survival", ChiSquared{DF: 5}.Survival(1.145476), 0.95, 1e-6)
+}
+
+func TestFDistribution(t *testing.T) {
+	// F(1, d) equals t(d)^2: P(F <= x) = P(|T| <= sqrt(x)).
+	td := StudentsT{DF: 8}
+	for _, x := range []float64{0.3, 1, 4} {
+		want := 1 - td.TwoSidedP(math.Sqrt(x))
+		approx(t, "F=t^2", F{D1: 1, D2: 8}.CDF(x), want, 1e-10)
+	}
+	// qf(0.95, 3, 10) = 3.708265 → CDF there is 0.95.
+	approx(t, "F crit", F{D1: 3, D2: 10}.CDF(3.708265), 0.95, 1e-6)
+}
+
+func TestKolmogorov(t *testing.T) {
+	k := Kolmogorov{}
+	// Classic critical value: K(1.3581) ~ 0.95, K(1.2238) ~ 0.90,
+	// K(1.6276) ~ 0.99 (two-sided KS asymptotic quantiles).
+	approx(t, "K(1.3581)", k.CDF(1.3581), 0.95, 5e-4)
+	approx(t, "K(1.2238)", k.CDF(1.2238), 0.90, 5e-4)
+	approx(t, "K(1.6276)", k.CDF(1.6276), 0.99, 5e-4)
+	if k.CDF(0) != 0 {
+		t.Error("K(0) should be 0")
+	}
+	if got := k.CDF(5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K(5) = %g, want ~1", got)
+	}
+	// The two branches must agree near the switch point.
+	approx(t, "branch continuity", k.CDF(0.2999999), k.CDF(0.3000001), 1e-6)
+}
+
+func TestKolmogorovMonotoneQuick(t *testing.T) {
+	k := Kolmogorov{}
+	err := quick.Check(func(u float64) bool {
+		x := math.Abs(math.Mod(u, 3))
+		a, b := k.CDF(x), k.CDF(x+0.01)
+		return b >= a-1e-12 && a >= 0 && b <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	z := NewZipf(1.0, 4)
+	// H = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+	approx(t, "pmf(1)", z.PMF(1), 12.0/25.0, 1e-12)
+	approx(t, "pmf(2)", z.PMF(2), 6.0/25.0, 1e-12)
+	approx(t, "cdf(N)", z.CDF(4), 1, 1e-12)
+	if z.PMF(0) != 0 || z.PMF(5) != 0 {
+		t.Error("PMF outside support should be 0")
+	}
+	// Heavier exponent concentrates more mass at rank 1.
+	if NewZipf(2, 100).PMF(1) <= NewZipf(1, 100).PMF(1) {
+		t.Error("larger exponent should concentrate mass at rank 1")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(0, 10)
+}

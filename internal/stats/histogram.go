@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-width binned frequency count over [Lo, Hi).
+// Values exactly equal to Hi are assigned to the last bin, matching the
+// right-closed convention of most plotting tools.
+type Histogram struct {
+	Lo, Hi float64
+	Width  float64
+	Counts []int
+	// Total is the number of observations inside [Lo, Hi]; observations
+	// outside the range are dropped and not counted here.
+	Total int
+}
+
+// NewHistogram bins xs into `bins` equal-width bins spanning [lo, hi].
+// It panics if bins < 1 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: NewHistogram requires bins >= 1 and hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+	for _, x := range xs {
+		if x < lo || x > hi || math.IsNaN(x) {
+			continue
+		}
+		i := int((x - lo) / h.Width)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// AutoHistogram bins xs using the Freedman–Diaconis rule for the bin width,
+// falling back to Sturges' rule when the IQR is degenerate. It returns nil
+// for an empty sample.
+func AutoHistogram(xs []float64) *Histogram {
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1
+	}
+	b, _ := NewBoxplot(xs, DefaultWhiskerK)
+	n := float64(len(xs))
+	width := 2 * b.IQR / math.Cbrt(n)
+	var bins int
+	if width > 0 {
+		bins = int(math.Ceil((hi - lo) / width))
+	} else {
+		bins = int(math.Ceil(math.Log2(n))) + 1
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > 10000 {
+		bins = 10000
+	}
+	return NewHistogram(xs, lo, hi, bins)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Density returns the normalized density of bin i, so that the histogram
+// integrates to 1 over observations inside the range.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.Total) * h.Width)
+}

@@ -1,0 +1,220 @@
+// Package regress implements ordinary least squares via Householder QR
+// decomposition. It is the numerical substrate for the unit-root tests
+// (ADF, KPSS) and the autoregressive forecaster used by homesight.
+package regress
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShape is returned when the design matrix and response disagree or the
+// system is under-determined.
+var ErrShape = errors.New("regress: invalid design shape")
+
+// ErrSingular is returned when the design matrix is (numerically) rank
+// deficient.
+var ErrSingular = errors.New("regress: singular design matrix")
+
+// Model is a fitted ordinary-least-squares model.
+type Model struct {
+	// Coeffs are the fitted coefficients, one per design column.
+	Coeffs []float64
+	// StdErrs are the coefficient standard errors.
+	StdErrs []float64
+	// Residuals are y - X·beta.
+	Residuals []float64
+	// Sigma2 is the unbiased residual variance estimate (RSS / (n - p)).
+	Sigma2 float64
+	// R2 is the coefficient of determination against the mean-only model.
+	R2 float64
+	// N and P are the number of observations and predictors.
+	N, P int
+}
+
+// OLS fits y = X·beta + eps by least squares. X is row-major: X[i] is the
+// i-th observation's predictor vector (include a column of ones for an
+// intercept). It requires len(X) == len(y) and n > p.
+func OLS(x [][]float64, y []float64) (*Model, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, ErrShape
+	}
+	p := len(x[0])
+	if p == 0 || n <= p {
+		return nil, ErrShape
+	}
+	for _, row := range x {
+		if len(row) != p {
+			return nil, ErrShape
+		}
+	}
+
+	// Householder QR on a working copy [A | b].
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, p)
+		copy(a[i], x[i])
+	}
+	b := make([]float64, n)
+	copy(b, y)
+
+	// Original column norms provide the scale for the rank tolerance.
+	colScale := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			colScale[j] = math.Hypot(colScale[j], x[i][j])
+		}
+		if colScale[j] == 0 {
+			return nil, ErrSingular
+		}
+	}
+
+	// rdiag collects the diagonal of R.
+	rdiag := make([]float64, p)
+	for k := 0; k < p; k++ {
+		// Norm of column k below the diagonal.
+		norm := 0.0
+		for i := k; i < n; i++ {
+			norm = math.Hypot(norm, a[i][k])
+		}
+		if norm <= 1e-12*colScale[k] {
+			return nil, ErrSingular
+		}
+		if a[k][k] < 0 {
+			norm = -norm
+		}
+		for i := k; i < n; i++ {
+			a[i][k] /= norm
+		}
+		a[k][k] += 1
+
+		// Apply the reflector to the remaining columns and to b.
+		for j := k + 1; j < p; j++ {
+			s := 0.0
+			for i := k; i < n; i++ {
+				s += a[i][k] * a[i][j]
+			}
+			s = -s / a[k][k]
+			for i := k; i < n; i++ {
+				a[i][j] += s * a[i][k]
+			}
+		}
+		s := 0.0
+		for i := k; i < n; i++ {
+			s += a[i][k] * b[i]
+		}
+		s = -s / a[k][k]
+		for i := k; i < n; i++ {
+			b[i] += s * a[i][k]
+		}
+		rdiag[k] = -norm
+	}
+
+	// Back substitution: R beta = Q'b (upper triangle of a, diagonal rdiag).
+	beta := make([]float64, p)
+	for k := p - 1; k >= 0; k-- {
+		if rdiag[k] == 0 || math.Abs(rdiag[k]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		s := b[k]
+		for j := k + 1; j < p; j++ {
+			s -= a[k][j] * beta[j]
+		}
+		beta[k] = s / rdiag[k]
+	}
+
+	m := &Model{Coeffs: beta, N: n, P: p}
+
+	// Residuals and RSS from the original data.
+	m.Residuals = make([]float64, n)
+	rss := 0.0
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+	tss := 0.0
+	for i := range y {
+		pred := 0.0
+		for j := 0; j < p; j++ {
+			pred += x[i][j] * beta[j]
+		}
+		m.Residuals[i] = y[i] - pred
+		rss += m.Residuals[i] * m.Residuals[i]
+		tss += (y[i] - meanY) * (y[i] - meanY)
+	}
+	m.Sigma2 = rss / float64(n-p)
+	if tss > 0 {
+		m.R2 = 1 - rss/tss
+	}
+
+	// Standard errors: sigma2 * diag((X'X)^-1) via R inverse:
+	// (X'X)^-1 = R^-1 R^-T. Solve R'z = e_j then R w = z per column.
+	m.StdErrs = make([]float64, p)
+	rinv := invertUpper(a, rdiag, p)
+	if rinv == nil {
+		return nil, ErrSingular
+	}
+	for j := 0; j < p; j++ {
+		sum := 0.0
+		for k := j; k < p; k++ {
+			sum += rinv[j][k] * rinv[j][k]
+		}
+		m.StdErrs[j] = math.Sqrt(m.Sigma2 * sum)
+	}
+	return m, nil
+}
+
+// invertUpper inverts the upper-triangular R whose strict upper part is in a
+// and diagonal in rdiag. Returns row-major R^-1 (upper triangular).
+func invertUpper(a [][]float64, rdiag []float64, p int) [][]float64 {
+	r := make([][]float64, p)
+	for i := range r {
+		r[i] = make([]float64, p)
+		r[i][i] = rdiag[i]
+		for j := i + 1; j < p; j++ {
+			r[i][j] = a[i][j]
+		}
+	}
+	inv := make([][]float64, p)
+	for i := range inv {
+		inv[i] = make([]float64, p)
+	}
+	for j := p - 1; j >= 0; j-- {
+		if r[j][j] == 0 {
+			return nil
+		}
+		inv[j][j] = 1 / r[j][j]
+		for i := j - 1; i >= 0; i-- {
+			s := 0.0
+			for k := i + 1; k <= j; k++ {
+				s += r[i][k] * inv[k][j]
+			}
+			inv[i][j] = -s / r[i][i]
+		}
+	}
+	return inv
+}
+
+// TStats returns the coefficient t-statistics beta / stderr.
+func (m *Model) TStats() []float64 {
+	out := make([]float64, len(m.Coeffs))
+	for i := range out {
+		if m.StdErrs[i] == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = m.Coeffs[i] / m.StdErrs[i]
+	}
+	return out
+}
+
+// Predict returns the fitted value for predictor vector row.
+func (m *Model) Predict(row []float64) float64 {
+	s := 0.0
+	for j, c := range m.Coeffs {
+		s += row[j] * c
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	// y = 3 + 2x exactly.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		x = append(x, []float64{1, float64(i)})
+		y = append(y, 3+2*float64(i))
+	}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "intercept", m.Coeffs[0], 3, 1e-10)
+	approx(t, "slope", m.Coeffs[1], 2, 1e-10)
+	approx(t, "r2", m.R2, 1, 1e-12)
+	approx(t, "sigma2", m.Sigma2, 0, 1e-18)
+	approx(t, "predict", m.Predict([]float64{1, 100}), 203, 1e-8)
+}
+
+func TestOLSKnownSmallSystem(t *testing.T) {
+	// Simple regression with hand-computable answer:
+	// x = 0..4, y = (1, 2, 2, 4, 6): slope = sxy/sxx = 12/10 = 1.2,
+	// intercept = 3 - 1.2*2 = 0.6.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}, {1, 4}}
+	y := []float64{1, 2, 2, 4, 6}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "intercept", m.Coeffs[0], 0.6, 1e-10)
+	approx(t, "slope", m.Coeffs[1], 1.2, 1e-10)
+	// RSS = sum of squared residuals; residuals: .4, .2, -1, -.2, .6 → 1.6.
+	approx(t, "sigma2", m.Sigma2, 1.6/3, 1e-10)
+	// se(slope) = sqrt(sigma2/sxx) = sqrt(0.5333/10).
+	approx(t, "se slope", m.StdErrs[1], math.Sqrt(1.6/3/10), 1e-10)
+	// se(intercept) = sqrt(sigma2*(1/n + xbar^2/sxx)).
+	approx(t, "se intercept", m.StdErrs[0], math.Sqrt(1.6/3*(0.2+0.4)), 1e-10)
+}
+
+func TestOLSRecoversCoefficientsUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 5000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{1, a, b}
+		y[i] = 1.5 - 2*a + 0.5*b + 0.3*rng.NormFloat64()
+	}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "b0", m.Coeffs[0], 1.5, 0.05)
+	approx(t, "b1", m.Coeffs[1], -2, 0.05)
+	approx(t, "b2", m.Coeffs[2], 0.5, 0.05)
+	// t-stats of real effects should be enormous.
+	ts := m.TStats()
+	if math.Abs(ts[1]) < 50 {
+		t.Errorf("t-stat for strong effect = %g, want large", ts[1])
+	}
+}
+
+func TestOLSShapeErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	if _, err := OLS([][]float64{{1}}, []float64{1, 2}); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	// n <= p under-determined.
+	if _, err := OLS([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+	// Ragged rows.
+	if _, err := OLS([][]float64{{1, 2}, {3}, {4, 5}}, []float64{1, 2, 3}); err != ErrShape {
+		t.Errorf("want ErrShape, got %v", err)
+	}
+}
+
+func TestOLSSingular(t *testing.T) {
+	// Duplicate column → rank deficient.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	if _, err := OLS(x, []float64{1, 2, 3}); err != ErrSingular {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+	// Zero column.
+	x2 := [][]float64{{0, 1}, {0, 2}, {0, 3}}
+	if _, err := OLS(x2, []float64{1, 2, 3}); err != ErrSingular {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestResidualsOrthogonalToDesign(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{1, rng.NormFloat64(), rng.Float64() * 10}
+		y[i] = rng.NormFloat64() * 5
+	}
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X' r = 0 is the defining property of least squares.
+	for j := 0; j < 3; j++ {
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += x[i][j] * m.Residuals[i]
+		}
+		approx(t, "orthogonality", dot, 0, 1e-8)
+	}
+}

@@ -1,0 +1,53 @@
+package tests
+
+import (
+	"math"
+
+	"homesight/internal/stats"
+	"homesight/internal/stats/dist"
+)
+
+// JBResult is the outcome of a Jarque–Bera normality test.
+type JBResult struct {
+	Stat     float64
+	PValue   float64
+	Skew     float64
+	Kurtosis float64 // excess kurtosis
+	N        int
+}
+
+// Rejected reports whether normality is rejected at level alpha.
+func (r JBResult) Rejected(alpha float64) bool { return r.PValue < alpha }
+
+// JarqueBera tests H0: the sample is drawn from a normal distribution,
+// using JB = n/6 (S² + K²/4) ~ χ²(2) where S is the sample skewness and K
+// the excess kurtosis. The paper's critique of SAX rests on traffic values
+// failing exactly this kind of test even after z-normalization (Sec. 2).
+func JarqueBera(xs []float64) (JBResult, error) {
+	n := len(xs)
+	if n < 8 {
+		return JBResult{}, ErrTooShort
+	}
+	mean := stats.Mean(xs)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	fn := float64(n)
+	m2 /= fn
+	m3 /= fn
+	m4 /= fn
+	if m2 == 0 {
+		// Constant sample: degenerate, decisively non-normal.
+		return JBResult{Stat: math.Inf(1), PValue: 0, N: n}, nil
+	}
+	skew := m3 / math.Pow(m2, 1.5)
+	kurt := m4/(m2*m2) - 3
+	jb := fn / 6 * (skew*skew + kurt*kurt/4)
+	p := dist.ChiSquared{DF: 2}.Survival(jb)
+	return JBResult{Stat: jb, PValue: p, Skew: skew, Kurtosis: kurt, N: n}, nil
+}

@@ -1,0 +1,196 @@
+package tests
+
+import (
+	"math"
+
+	"homesight/internal/stats"
+	"homesight/internal/stats/regress"
+)
+
+// UnitRootResult is the outcome of a unit-root / stationarity test.
+type UnitRootResult struct {
+	// Stat is the test statistic (τ for ADF, η for KPSS).
+	Stat float64
+	// PValue is an interpolated p-value. It is clamped to the table range
+	// ([0.01, 0.10] endpoints map to <=0.01 / >=0.10) — standard practice
+	// for table-based unit-root tests.
+	PValue float64
+	// Lags is the number of lag terms used.
+	Lags int
+	// N is the effective sample size.
+	N int
+}
+
+// adfCrit holds MacKinnon (2010) response-surface critical values for the
+// constant, no-trend ADF regression: crit = b0 + b1/T + b2/T².
+var adfCrit = []struct {
+	level      float64
+	b0, b1, b2 float64
+}{
+	{0.01, -3.43035, -6.5393, -16.786},
+	{0.05, -2.86154, -2.8903, -4.234},
+	{0.10, -2.56677, -1.5384, -2.809},
+}
+
+// ADF performs the Augmented Dickey–Fuller test with a constant (no trend):
+//
+//	Δy_t = α + γ·y_{t-1} + Σ_{i=1..lags} δ_i·Δy_{t-i} + ε_t
+//
+// H0: γ = 0 (unit root, non-stationary); small p-values reject the unit
+// root, i.e. support stationarity. If lags < 0, the Schwert rule
+// floor(12·(T/100)^0.25) is used.
+func ADF(y []float64, lags int) (UnitRootResult, error) {
+	t := len(y)
+	if lags < 0 {
+		lags = int(math.Floor(12 * math.Pow(float64(t)/100, 0.25)))
+	}
+	// Need rows t-1-lags > predictors (2+lags) with slack.
+	if t < lags+12 {
+		return UnitRootResult{}, ErrTooShort
+	}
+
+	dy := diff(y)
+	rows := len(dy) - lags
+	x := make([][]float64, rows)
+	resp := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		tIdx := i + lags // index into dy; corresponds to y index tIdx+1
+		row := make([]float64, 2+lags)
+		row[0] = 1
+		row[1] = y[tIdx] // y_{t-1}
+		for k := 1; k <= lags; k++ {
+			row[1+k] = dy[tIdx-k]
+		}
+		x[i] = row
+		resp[i] = dy[tIdx]
+	}
+	m, err := regress.OLS(x, resp)
+	if err != nil {
+		// A constant series has no unit-root question to answer; callers in
+		// the traffic pipeline treat it as trivially stationary.
+		return UnitRootResult{}, err
+	}
+	tau := m.Coeffs[1] / m.StdErrs[1]
+	return UnitRootResult{
+		Stat:   tau,
+		PValue: adfPValue(tau, rows),
+		Lags:   lags,
+		N:      rows,
+	}, nil
+}
+
+// adfPValue interpolates the p-value from the MacKinnon critical values,
+// clamping outside the tabulated [0.01, 0.10] range.
+func adfPValue(tau float64, t int) float64 {
+	tf := float64(t)
+	crits := make([]float64, len(adfCrit))
+	for i, c := range adfCrit {
+		crits[i] = c.b0 + c.b1/tf + c.b2/(tf*tf)
+	}
+	// crits are ascending in value (1% most negative) and level ascending.
+	switch {
+	case tau <= crits[0]:
+		return 0.01
+	case tau >= crits[len(crits)-1]:
+		return 0.10
+	}
+	for i := 0; i+1 < len(crits); i++ {
+		if tau >= crits[i] && tau <= crits[i+1] {
+			frac := (tau - crits[i]) / (crits[i+1] - crits[i])
+			return adfCrit[i].level + frac*(adfCrit[i+1].level-adfCrit[i].level)
+		}
+	}
+	return 0.10
+}
+
+// kpssCrit holds the Kwiatkowski et al. (1992) critical values for the
+// level-stationarity statistic.
+var kpssCrit = []struct{ level, crit float64 }{
+	{0.10, 0.347},
+	{0.05, 0.463},
+	{0.025, 0.574},
+	{0.01, 0.739},
+}
+
+// KPSS performs the KPSS test of H0: the series is level-stationary.
+// Small p-values reject stationarity — note the opposite orientation from
+// ADF. If lags < 0 the standard bandwidth floor(4·(T/100)^0.25) is used.
+func KPSS(y []float64, lags int) (UnitRootResult, error) {
+	t := len(y)
+	if t < 12 {
+		return UnitRootResult{}, ErrTooShort
+	}
+	if lags < 0 {
+		lags = int(math.Floor(4 * math.Pow(float64(t)/100, 0.25)))
+	}
+
+	// Residuals from the level: e_t = y_t - mean.
+	mean := stats.Mean(y)
+	e := make([]float64, t)
+	for i, v := range y {
+		e[i] = v - mean
+	}
+
+	// Partial sums S_t and numerator (1/T²) Σ S_t².
+	num := 0.0
+	s := 0.0
+	for _, v := range e {
+		s += v
+		num += s * s
+	}
+	num /= float64(t) * float64(t)
+
+	// Long-run variance with Bartlett kernel.
+	lrv := 0.0
+	for _, v := range e {
+		lrv += v * v
+	}
+	lrv /= float64(t)
+	for l := 1; l <= lags; l++ {
+		gamma := 0.0
+		for i := l; i < t; i++ {
+			gamma += e[i] * e[i-l]
+		}
+		gamma /= float64(t)
+		w := 1 - float64(l)/float64(lags+1)
+		lrv += 2 * w * gamma
+	}
+	if lrv <= 0 {
+		// Degenerate (e.g. constant) series: trivially stationary.
+		return UnitRootResult{Stat: 0, PValue: 0.10, Lags: lags, N: t}, nil
+	}
+
+	eta := num / lrv
+	return UnitRootResult{Stat: eta, PValue: kpssPValue(eta), Lags: lags, N: t}, nil
+}
+
+// kpssPValue interpolates the KPSS table; larger statistics mean smaller
+// p-values. Clamped to [0.01, 0.10].
+func kpssPValue(eta float64) float64 {
+	switch {
+	case eta <= kpssCrit[0].crit:
+		return 0.10
+	case eta >= kpssCrit[len(kpssCrit)-1].crit:
+		return 0.01
+	}
+	for i := 0; i+1 < len(kpssCrit); i++ {
+		lo, hi := kpssCrit[i], kpssCrit[i+1]
+		if eta >= lo.crit && eta <= hi.crit {
+			frac := (eta - lo.crit) / (hi.crit - lo.crit)
+			return lo.level + frac*(hi.level-lo.level)
+		}
+	}
+	return 0.01
+}
+
+// diff returns the first differences of y.
+func diff(y []float64) []float64 {
+	if len(y) < 2 {
+		return nil
+	}
+	d := make([]float64, len(y)-1)
+	for i := 1; i < len(y); i++ {
+		d[i-1] = y[i] - y[i-1]
+	}
+	return d
+}

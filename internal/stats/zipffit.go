@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ZipfFit is a rank–frequency power-law fit of a sample: if the values are
+// Zipf-distributed, log(value) is approximately linear in log(rank) with
+// negative slope. The paper observes that gateway traffic values follow
+// Zipf's law (Sec. 4.1); this fit is how we verify the synthetic generator
+// reproduces that shape.
+type ZipfFit struct {
+	// Exponent is the estimated Zipf exponent (the negated slope of the
+	// log–log rank/value regression).
+	Exponent float64
+	// R2 is the coefficient of determination of the log–log fit; values
+	// near 1 indicate a convincing power law.
+	R2 float64
+	// N is the number of positive observations used.
+	N int
+}
+
+// FitZipf fits a rank–value power law to the positive values of xs.
+// Non-positive values are ignored (rank/value log-log regression is
+// undefined for them); fewer than 3 usable values yields a zero fit.
+func FitZipf(xs []float64) ZipfFit {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			vals = append(vals, x)
+		}
+	}
+	if len(vals) < 3 {
+		return ZipfFit{N: len(vals)}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+
+	n := len(vals)
+	logRank := make([]float64, n)
+	logVal := make([]float64, n)
+	for i, v := range vals {
+		logRank[i] = math.Log(float64(i + 1))
+		logVal[i] = math.Log(v)
+	}
+	slope, intercept := simpleOLS(logRank, logVal)
+
+	// R^2 of the fit.
+	meanY := Mean(logVal)
+	var ssRes, ssTot float64
+	for i := range logVal {
+		pred := intercept + slope*logRank[i]
+		ssRes += (logVal[i] - pred) * (logVal[i] - pred)
+		ssTot += (logVal[i] - meanY) * (logVal[i] - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return ZipfFit{Exponent: -slope, R2: r2, N: n}
+}
+
+// simpleOLS returns the least-squares slope and intercept of y on x.
+func simpleOLS(x, y []float64) (slope, intercept float64) {
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}

@@ -1,0 +1,53 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances the SplitMix64 sequence, used to derive independent,
+// stable sub-seeds for every home and device so that Home(i) is a pure
+// function of (master seed, i) no matter in which order homes are generated.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// subSeed derives a deterministic seed from a master seed and a stream of
+// identifiers (home index, device index, purpose tag ...).
+func subSeed(master int64, ids ...uint64) int64 {
+	x := uint64(master)
+	for _, id := range ids {
+		x = splitmix64(x ^ (id + 0x9e3779b97f4a7c15))
+	}
+	return int64(splitmix64(x) >> 1) // keep it non-negative
+}
+
+// newRNG returns a deterministic RNG for the given identifier stream.
+func newRNG(master int64, ids ...uint64) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(master, ids...)))
+}
+
+// lognormal draws exp(N(ln median, sigma)), i.e. a lognormal with the given
+// median and log-scale sigma.
+func lognormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(sigma*rng.NormFloat64())
+}
+
+// pareto draws from a Pareto distribution with scale xm and shape alpha,
+// capped at cap when cap > 0. The heavy tail is what gives traffic values
+// their Zipfian rank–value shape.
+func pareto(rng *rand.Rand, xm, alpha, cap float64) float64 {
+	u := rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	v := xm / math.Pow(u, 1/alpha)
+	if cap > 0 && v > cap {
+		return cap
+	}
+	return v
+}

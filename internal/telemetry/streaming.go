@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/motif"
+	"homesight/internal/timeseries"
+)
+
+// StreamingMotifs is the streaming analytics stage the paper names as
+// future work: it consumes the live report stream, reconstructs each
+// gateway's per-minute traffic, and the moment a calendar day completes it
+// aggregates the day into 3-hour bins, removes background traffic and
+// matches the window against the motifs discovered so far.
+//
+// Wire it to a Store with store.OnReport(sm.Feed).
+type StreamingMotifs struct {
+	// Spec is the window mapping (zero value → the paper's best daily
+	// spec, 3h bins).
+	Spec timeseries.WindowSpec
+	// Tau is the background threshold applied to minute values before
+	// aggregation (0 → 5000, the paper's cap).
+	Tau float64
+	// Matcher accumulates motifs (zero value = paper thresholds).
+	Matcher motif.Online
+
+	mu     sync.Mutex
+	meters map[string]map[string]*struct{ rx, tx gateway.Meter }
+	days   map[string]*dayBuffer
+}
+
+type dayBuffer struct {
+	day  time.Time // midnight anchor of the buffered day
+	vals []float64 // 1440 per-minute totals, NaN = unobserved
+	seen int
+}
+
+func (sm *StreamingMotifs) spec() timeseries.WindowSpec {
+	if sm.Spec.Period == 0 {
+		return timeseries.DailySpec(3 * time.Hour)
+	}
+	return sm.Spec
+}
+
+func (sm *StreamingMotifs) tau() float64 {
+	if sm.Tau == 0 {
+		return 5000
+	}
+	return sm.Tau
+}
+
+// Feed consumes one report.
+func (sm *StreamingMotifs) Feed(rep gateway.Report) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.meters == nil {
+		sm.meters = make(map[string]map[string]*struct{ rx, tx gateway.Meter })
+		sm.days = make(map[string]*dayBuffer)
+	}
+	gm := sm.meters[rep.GatewayID]
+	if gm == nil {
+		gm = make(map[string]*struct{ rx, tx gateway.Meter })
+		sm.meters[rep.GatewayID] = gm
+	}
+
+	ts := rep.Timestamp.UTC()
+	day := time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, time.UTC)
+	buf := sm.days[rep.GatewayID]
+	if buf == nil || !buf.day.Equal(day) {
+		if buf != nil && buf.seen > 0 {
+			sm.finishDay(rep.GatewayID, buf)
+		}
+		buf = newDayBuffer(day)
+		sm.days[rep.GatewayID] = buf
+	}
+
+	total := 0.0
+	counted := false
+	for _, dc := range rep.Devices {
+		m := gm[dc.MAC]
+		if m == nil {
+			m = &struct{ rx, tx gateway.Meter }{}
+			gm[dc.MAC] = m
+		}
+		din, okIn := m.rx.Delta(dc.RxBytes)
+		dout, okOut := m.tx.Delta(dc.TxBytes)
+		if okIn && okOut {
+			total += float64(din + dout)
+			counted = true
+		}
+	}
+	if counted {
+		minuteOfDay := ts.Hour()*60 + ts.Minute()
+		buf.vals[minuteOfDay] = total
+		buf.seen++
+	}
+}
+
+func newDayBuffer(day time.Time) *dayBuffer {
+	vals := make([]float64, 24*60)
+	for i := range vals {
+		vals[i] = math.NaN()
+	}
+	return &dayBuffer{day: day, vals: vals}
+}
+
+// finishDay aggregates a completed day and feeds it to the matcher.
+// Called with the lock held.
+func (sm *StreamingMotifs) finishDay(gatewayID string, buf *dayBuffer) {
+	spec := sm.spec()
+	s := timeseries.New(buf.day, time.Minute, buf.vals).Threshold(sm.tau())
+	wins, err := spec.Windows(s)
+	if err != nil || len(wins) == 0 {
+		return
+	}
+	w := wins[0]
+	if !w.Observed() {
+		return
+	}
+	sm.Matcher.Add(motif.Instance{GatewayID: gatewayID, Window: w})
+}
+
+// Flush finalizes all pending day buffers (end of stream).
+func (sm *StreamingMotifs) Flush() {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for gw, buf := range sm.days {
+		if buf.seen > 0 {
+			sm.finishDay(gw, buf)
+		}
+	}
+	sm.days = make(map[string]*dayBuffer)
+}
+
+// Motifs consolidates and returns the motifs discovered so far.
+func (sm *StreamingMotifs) Motifs() []*motif.Motif {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.Matcher.Consolidate()
+}

@@ -1,0 +1,220 @@
+// Package telemetry implements the collection pipeline of Sec. 3: gateways
+// report their cumulative per-device counters once a minute to a central
+// server. The wire format is one JSON document per line over TCP; the
+// collector feeds a thread-safe Store of per-gateway recorders, from which
+// analysis code pulls reconstructed time series.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"homesight/internal/gateway"
+)
+
+// ErrClosed is returned when using a closed collector or reporter.
+var ErrClosed = errors.New("telemetry: closed")
+
+// Store accumulates reports per gateway.
+type Store struct {
+	start time.Time
+	step  time.Duration
+
+	mu        sync.Mutex
+	recorders map[string]*gateway.Recorder
+	// onReport, if set, observes every ingested report (streaming stage).
+	onReport func(gateway.Report)
+}
+
+// NewStore returns an empty store anchored at start with the given step.
+func NewStore(start time.Time, step time.Duration) *Store {
+	return &Store{start: start, step: step, recorders: make(map[string]*gateway.Recorder)}
+}
+
+// OnReport registers a callback invoked (synchronously, after ingestion)
+// for every report. It must be set before the collector starts serving.
+func (s *Store) OnReport(fn func(gateway.Report)) { s.onReport = fn }
+
+// Ingest stores one report.
+func (s *Store) Ingest(rep gateway.Report) error {
+	if rep.GatewayID == "" {
+		return fmt.Errorf("telemetry: report without gateway id")
+	}
+	s.mu.Lock()
+	rec := s.recorders[rep.GatewayID]
+	if rec == nil {
+		rec = gateway.NewRecorder(s.start, s.step)
+		s.recorders[rep.GatewayID] = rec
+	}
+	err := rec.Ingest(rep)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.onReport != nil {
+		s.onReport(rep)
+	}
+	return nil
+}
+
+// GatewayIDs returns the known gateways, sorted.
+func (s *Store) GatewayIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.recorders))
+	for id := range s.recorders {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recorder returns the recorder for a gateway, or nil if unknown. The
+// recorder is safe to read only after the collector has stopped, or from
+// the OnReport callback.
+func (s *Store) Recorder(gatewayID string) *gateway.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recorders[gatewayID]
+}
+
+// Collector is the central TCP report sink.
+type Collector struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+
+	// Errs receives per-connection ingest errors (dropped when full).
+	Errs chan error
+}
+
+// NewCollector starts listening on addr (e.g. "127.0.0.1:0") and serving
+// connections in the background.
+func NewCollector(addr string, store *Store) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		store: store,
+		ln:    ln,
+		conns: make(map[net.Conn]bool),
+		Errs:  make(chan error, 16),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = true
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+func (c *Collector) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var rep gateway.Report
+		if err := dec.Decode(&rep); err != nil {
+			return // EOF or malformed stream: drop the connection
+		}
+		if err := c.store.Ingest(rep); err != nil {
+			select {
+			case c.Errs <- err:
+			default:
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Reporter is a gateway-side client that streams reports to a collector.
+type Reporter struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+// Dial connects a reporter to a collector address.
+func Dial(addr string) (*Reporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	return &Reporter{conn: conn, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Send transmits one report and flushes it to the wire: gateways report
+// once a minute, so buffering across reports would only delay delivery.
+func (r *Reporter) Send(rep gateway.Report) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(rep); err != nil {
+		return err
+	}
+	return r.bw.Flush()
+}
+
+// Close flushes and closes the connection.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.bw.Flush(); err != nil {
+		r.conn.Close()
+		return err
+	}
+	return r.conn.Close()
+}

@@ -1,0 +1,48 @@
+package timeseries_test
+
+import (
+	"fmt"
+	"time"
+
+	"homesight/internal/timeseries"
+)
+
+// The paper's winning weekly mapping W: 8-hour bins phase-shifted to 2am,
+// cut into Monday-anchored weeks.
+func ExampleWindowSpec_Windows() {
+	start := time.Date(2014, 3, 17, 0, 0, 0, 0, time.UTC) // a Monday
+	vals := make([]float64, 15*24*60)                     // 15 days of minutes
+	for i := range vals {
+		vals[i] = 1 // one byte per minute: windows sum to their length
+	}
+	s := timeseries.New(start, time.Minute, vals)
+
+	spec := timeseries.WeeklySpec(8*time.Hour, 2*time.Hour)
+	wins, err := spec.Windows(s)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("windows: %d, points each: %d\n", len(wins), len(wins[0].Values))
+	fmt.Printf("first window: %s (%s)\n",
+		wins[0].Start.Format("Mon 15:04"), wins[0].Start.Format("2006-01-02"))
+	fmt.Printf("bin total: %.0f bytes (= 480 minutes)\n", wins[0].Values[0])
+	// Output:
+	// windows: 2, points each: 21
+	// first window: Mon 02:00 (2014-03-17)
+	// bin total: 480 bytes (= 480 minutes)
+}
+
+// Aggregation preserves total traffic while coarsening the grid.
+func ExampleSeries_Aggregate() {
+	start := time.Date(2014, 3, 17, 0, 0, 0, 0, time.UTC)
+	s := timeseries.New(start, time.Minute, []float64{100, 200, 300, 400, 500, 600})
+	agg, err := s.Aggregate(3 * time.Minute)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(agg.Values, "total:", agg.Total())
+	// Output:
+	// [600 1500] total: 2100
+}

@@ -1,0 +1,156 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Window is one element of the paper's mapping W: a non-overlapping,
+// calendar-aligned slice of a series.
+type Window struct {
+	// Start is the wall-clock start of the window.
+	Start time.Time
+	// Values are the aggregated observations inside the window.
+	Values []float64
+	// Ordinal is the window's position in its parent sequence (0-based):
+	// week number for weekly windows, day number for daily windows.
+	Ordinal int
+}
+
+// Weekday returns the day of week of the window start.
+func (w Window) Weekday() time.Weekday { return w.Start.Weekday() }
+
+// IsWeekend reports whether the window starts on Saturday or Sunday.
+func (w Window) IsWeekend() bool {
+	wd := w.Start.Weekday()
+	return wd == time.Saturday || wd == time.Sunday
+}
+
+// Observed reports whether the window has at least one non-NaN value.
+func (w Window) Observed() bool {
+	for _, v := range w.Values {
+		if !math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowSpec describes the paper's window mapping W: the series is first
+// aggregated into bins of width Bin (phase-shifted by PhaseOffset from
+// midnight — e.g. 2h for the paper's best weekly windows), then cut into
+// consecutive non-overlapping windows of Period length aligned to Period
+// boundaries.
+type WindowSpec struct {
+	// Period is the window length: Day for daily patterns, Week for weekly.
+	Period time.Duration
+	// Bin is the aggregation granularity inside the window.
+	Bin time.Duration
+	// PhaseOffset shifts the bin (and window) boundaries away from
+	// midnight; the paper's winning weekly windows use 2h.
+	PhaseOffset time.Duration
+}
+
+// PointsPerWindow returns how many aggregated bins a full window holds.
+func (ws WindowSpec) PointsPerWindow() int { return int(ws.Period / ws.Bin) }
+
+// Validate reports whether the spec is internally consistent for a series
+// with the given step.
+func (ws WindowSpec) Validate(step time.Duration) error {
+	if ws.Bin <= 0 || ws.Period <= 0 {
+		return fmt.Errorf("%w: non-positive bin or period", ErrStep)
+	}
+	if ws.Bin%step != 0 {
+		return fmt.Errorf("%w: bin %v not a multiple of step %v", ErrStep, ws.Bin, step)
+	}
+	if ws.Period%ws.Bin != 0 {
+		return fmt.Errorf("%w: period %v not a multiple of bin %v", ErrStep, ws.Period, ws.Bin)
+	}
+	if ws.PhaseOffset < 0 || ws.PhaseOffset >= ws.Period {
+		return fmt.Errorf("%w: phase offset %v outside [0, period)", ErrStep, ws.PhaseOffset)
+	}
+	return nil
+}
+
+// periodStart returns the start of the period (day or week, phase-shifted)
+// containing t. Weeks start on Monday, matching the paper's "weekly windows
+// starting from Mondays".
+func (ws WindowSpec) periodStart(t time.Time) time.Time {
+	t = t.UTC().Add(-ws.PhaseOffset)
+	var anchor time.Time
+	switch ws.Period {
+	case Week:
+		// Roll back to Monday 00:00.
+		daysBack := (int(t.Weekday()) + 6) % 7 // Monday=0 ... Sunday=6
+		anchor = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC).
+			AddDate(0, 0, -daysBack)
+	default:
+		// Generic periods anchor on the day grid.
+		dayStart := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		offset := t.Sub(dayStart) / ws.Period * ws.Period
+		anchor = dayStart.Add(offset)
+	}
+	return anchor.Add(ws.PhaseOffset)
+}
+
+// Windows applies the mapping W to a series: aggregate at Bin granularity
+// with the phase offset, then emit every complete Period-long window that
+// fits the series extent, in chronological order. Windows with no observed
+// values at all are still emitted (their Values are NaN); callers that need
+// observation coverage filter on Observed.
+func (ws WindowSpec) Windows(s *Series) ([]Window, error) {
+	if err := ws.Validate(s.Step); err != nil {
+		return nil, err
+	}
+	first := ws.periodStart(s.Start)
+	if first.Before(s.Start) {
+		first = first.Add(ws.Period)
+	}
+
+	per := int(ws.Bin / s.Step)
+	points := ws.PointsPerWindow()
+	var windows []Window
+	for ord := 0; ; ord++ {
+		wStart := first.Add(time.Duration(ord) * ws.Period)
+		wEnd := wStart.Add(ws.Period)
+		if wEnd.After(s.End()) {
+			break
+		}
+		base := s.IndexOf(wStart)
+		vals := make([]float64, points)
+		for b := 0; b < points; b++ {
+			sum := 0.0
+			seen := false
+			for i := base + b*per; i < base+(b+1)*per; i++ {
+				if i < 0 || i >= len(s.Values) {
+					continue
+				}
+				if !math.IsNaN(s.Values[i]) {
+					sum += s.Values[i]
+					seen = true
+				}
+			}
+			if seen {
+				vals[b] = sum
+			} else {
+				vals[b] = math.NaN()
+			}
+		}
+		windows = append(windows, Window{Start: wStart, Values: vals, Ordinal: ord})
+	}
+	return windows, nil
+}
+
+// DailySpec is the paper's daily mapping: day windows cut into bins of the
+// given width starting at midnight.
+func DailySpec(bin time.Duration) WindowSpec {
+	return WindowSpec{Period: Day, Bin: bin}
+}
+
+// WeeklySpec is the paper's weekly mapping: Monday-anchored week windows
+// cut into bins of the given width, phase-shifted by offset (0 for
+// midnight, 2h for the paper's winning aggregation).
+func WeeklySpec(bin, offset time.Duration) WindowSpec {
+	return WindowSpec{Period: Week, Bin: bin, PhaseOffset: offset}
+}
