@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet lint check
+
+build: ## compile every package
+	$(GO) build ./...
+
+test: ## unit + integration + property-based tests
+	$(GO) test ./...
+
+race: ## full test suite under the race detector
+	$(GO) test -race ./...
+
+vet: ## stock go vet
+	$(GO) vet ./...
+
+lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha)
+	$(GO) run ./cmd/homesight-vet ./...
+
+check: vet race lint ## the full CI gate: vet + race tests + homesight-vet
+	@echo "check: all gates passed"

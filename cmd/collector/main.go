@@ -50,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer col.Close()
+	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
 	log.Printf("listening on %s", col.Addr())
 
 	if !*demo {
@@ -73,10 +73,17 @@ func main() {
 		}(i)
 	}
 	wg.Wait()
-	// Give the collector a moment to drain the sockets.
+	// All reporters have disconnected. Wait until every gateway's stream has
+	// been accepted (its first report ingested), then drain: the collector
+	// stops accepting and joins the connection handlers at EOF. Only after
+	// that are the recorders safe to read — gateway.Recorder itself is not
+	// locked against concurrent ingestion.
 	deadline := time.Now().Add(10 * time.Second)
 	for len(store.GatewayIDs()) < dep.NumHomes() && time.Now().Before(deadline) {
 		time.Sleep(20 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		log.Fatal(err)
 	}
 	streaming.Flush()
 
@@ -105,7 +112,6 @@ func replayHome(addr string, dep *synth.Deployment, i int) error {
 	if err != nil {
 		return err
 	}
-	defer rep.Close()
 	em := gateway.NewEmitter(h.ID)
 	cfg := dep.Config()
 	for m := 0; m < cfg.Minutes(); m++ {
@@ -123,8 +129,10 @@ func replayHome(addr string, dep *synth.Deployment, i int) error {
 			continue
 		}
 		if err := rep.Send(r); err != nil {
+			_ = rep.Close() // send error wins
 			return err
 		}
 	}
-	return nil
+	// Close flushes the tail of the stream; its error is the result.
+	return rep.Close()
 }

@@ -1,0 +1,158 @@
+// Command homesight-vet runs homesight's project-specific static analysis:
+// five stdlib-only (go/ast + go/types) rules that mechanically enforce the
+// repo's statistical and concurrency invariants — the Definition 1
+// significance gate, no exact float equality, no silently dropped errors,
+// joinable goroutine fan-out, and named paper thresholds.
+//
+// Usage:
+//
+//	homesight-vet [flags] [./...]
+//	homesight-vet -ci            # extended tier-1 gate: go vet, race tests, then itself
+//
+// Findings print as "file:line: [rule] message"; the exit status is 0 when
+// clean, 1 on findings, 2 on load or usage errors. Per-line opt-outs:
+// //homesight:ignore <rule> (or //homesight:rawcorr for sig-gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"homesight/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	list := flag.Bool("list", false, "list rules and exit")
+	ci := flag.Bool("ci", false, "run the extended tier-1 gate: go vet ./..., go test -race ./..., then the analyzers")
+	dir := flag.String("C", ".", "change to directory before running")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *rules != "" {
+		var err error
+		if analyzers, err = analysis.ByName(*rules); err != nil {
+			fmt.Fprintln(os.Stderr, "homesight-vet:", err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *ci {
+		for _, cmd := range [][]string{
+			{"go", "vet", "./..."},
+			{"go", "test", "-race", "./..."},
+		} {
+			fmt.Println("homesight-vet:", strings.Join(cmd, " "))
+			c := exec.Command(cmd[0], cmd[1:]...)
+			c.Dir = *dir
+			c.Stdout = os.Stdout
+			c.Stderr = os.Stderr
+			if err := c.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "homesight-vet: %s failed: %v\n", strings.Join(cmd, " "), err)
+				return 1
+			}
+		}
+		fmt.Println("homesight-vet: analyzers")
+	}
+
+	mod, err := analysis.NewModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "homesight-vet:", err)
+		return 2
+	}
+	paths, err := selectPackages(mod, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "homesight-vet:", err)
+		return 2
+	}
+
+	status := 0
+	for _, path := range paths {
+		pkg, err := mod.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "homesight-vet: %s: %v\n", path, err)
+			return 2
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "homesight-vet: %s: type error: %v\n", path, terr)
+			status = 2
+		}
+		for _, f := range analysis.RunPackage(pkg, analyzers) {
+			fmt.Println(relativize(mod.Root, f))
+			if status == 0 {
+				status = 1
+			}
+		}
+	}
+	if status == 0 && *ci {
+		fmt.Println("homesight-vet: clean")
+	}
+	return status
+}
+
+// selectPackages expands the command-line patterns ("./...", "./internal/x",
+// import paths) into module package paths; no arguments means the module.
+func selectPackages(mod *analysis.Module, args []string) ([]string, error) {
+	all, err := mod.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		matched := false
+		for _, p := range all {
+			if !matchPattern(mod, arg, p) || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+			matched = true
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", arg)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern reports whether package path p matches one CLI pattern.
+func matchPattern(mod *analysis.Module, pattern, p string) bool {
+	// Normalize "./x" and "x" to the import-path form.
+	pat := strings.TrimPrefix(filepath.ToSlash(pattern), "./")
+	if pat == "..." || pat == "" {
+		return true
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		full := mod.Path + "/" + rest
+		return p == full || strings.HasPrefix(p, full+"/") ||
+			p == rest || strings.HasPrefix(p, rest+"/")
+	}
+	return p == pat || p == mod.Path+"/"+pat
+}
+
+// relativize shortens finding paths to be module-root relative.
+func relativize(root string, f analysis.Finding) string {
+	s := f.String()
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = fmt.Sprintf("%s:%d: [%s] %s", rel, f.Pos.Line, f.Rule, f.Message)
+	}
+	return s
+}

@@ -102,7 +102,7 @@ func writeGateway(path string, g *dataset.Gateway) error {
 		return err
 	}
 	if err := dataset.WriteCSV(f, g); err != nil {
-		f.Close()
+		_ = f.Close() // write error wins
 		return err
 	}
 	return f.Close()

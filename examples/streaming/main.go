@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer col.Close()
+	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
 	log.Printf("collector on %s; streaming %d gateways × %d weeks",
 		col.Addr(), cfg.Homes, cfg.Weeks)
 
@@ -68,7 +68,6 @@ func stream(addr string, dep *synth.Deployment, i int) error {
 	if err != nil {
 		return err
 	}
-	defer rep.Close()
 	em := gateway.NewEmitter(h.ID)
 	cfg := dep.Config()
 	for m := 0; m < cfg.Minutes(); m++ {
@@ -85,10 +84,12 @@ func stream(addr string, dep *synth.Deployment, i int) error {
 			continue
 		}
 		if err := rep.Send(r); err != nil {
+			_ = rep.Close() // send error wins
 			return err
 		}
 	}
-	return nil
+	// Close flushes the tail of the stream; its error is the result.
+	return rep.Close()
 }
 
 // waitForDrain polls until the collector has seen every gateway (the

@@ -1,0 +1,263 @@
+// Package analysis is homesight's project-specific static-analysis pass:
+// a small, stdlib-only (go/ast + go/types) analyzer framework plus the
+// rules that mechanically enforce the repo's statistical and concurrency
+// invariants — most importantly that every correlation is routed through
+// the Definition 1 significance gate rather than the raw coefficients.
+//
+// Each rule is a standalone Analyzer value in its own file; the
+// cmd/homesight-vet driver loads the module, runs every analyzer over
+// every package and prints findings as "file:line: [rule] message".
+//
+// Findings can be suppressed per line with a directive comment:
+//
+//	x := corr.Pearson(a, b) //homesight:ignore sig-gate — reporting raw r
+//
+// either on the offending line or on a comment line directly above it.
+// The shorthand //homesight:rawcorr is an alias for
+// //homesight:ignore sig-gate, for the one invariant the paper itself
+// deliberately breaks (reporting raw in/out correlation).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the driver's canonical "file:line: [rule] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Pass carries everything a rule needs to analyze one file of a
+// type-checked package. Info is never nil; when type checking partially
+// failed, entries may be missing and rules must tolerate nil types.
+type Pass struct {
+	Fset *token.FileSet
+	File *ast.File
+	Pkg  *types.Package
+	Info *types.Info
+	// Path is the package's import path, used by per-package allowlists.
+	Path string
+
+	findings *[]Finding
+	rule     string
+	ignores  ignoreSet
+}
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.rule, position.Line) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type checking did not record
+// one (e.g. in a package with earlier type errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Analyzer is one named rule. Run inspects a single file through the Pass
+// and reports findings with pass.Reportf.
+type Analyzer struct {
+	// Name is the rule identifier used in findings and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes one file of a type-checked package.
+	Run func(pass *Pass)
+}
+
+// All returns every registered rule, sorted by name.
+func All() []*Analyzer {
+	rules := []*Analyzer{
+		SigGate,
+		FloatEq,
+		DroppedErr,
+		NakedGoroutine,
+		BareAlpha,
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+	return rules
+}
+
+// ByName resolves a comma-separated rule list; unknown names error.
+func ByName(names string) ([]*Analyzer, error) {
+	all := All()
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown rule %q", n)
+		}
+	}
+	return out, nil
+}
+
+// RunFile applies the analyzers to one file of pkg and returns findings
+// sorted by position.
+func RunFile(pkg *Package, file *ast.File, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	ignores := collectIgnores(pkg.Fset, file)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			File:     file,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			findings: &findings,
+			rule:     a.Name,
+			ignores:  ignores,
+		}
+		a.Run(pass)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// RunPackage applies the analyzers to every file of pkg.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, f := range pkg.Files {
+		findings = append(findings, RunFile(pkg, f, analyzers)...)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos.Filename != fs[j].Pos.Filename {
+			return fs[i].Pos.Filename < fs[j].Pos.Filename
+		}
+		if fs[i].Pos.Line != fs[j].Pos.Line {
+			return fs[i].Pos.Line < fs[j].Pos.Line
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+}
+
+// ignoreSet maps source lines to the rules suppressed there. The wildcard
+// rule "*" suppresses everything on the line.
+type ignoreSet map[int]ruleFlags
+
+func (s ignoreSet) covers(rule string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		if rules, ok := s[l]; ok && (rules[rule] || rules["*"]) {
+			// A directive on the line above only applies when it stands
+			// alone; collectIgnores records such lines under the comment's
+			// own line, so line-1 membership is exactly the "above" case.
+			if l == line || rules.standalone() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type ruleFlags map[string]bool
+
+func (r ruleFlags) standalone() bool { return r["standalone"] }
+
+// collectIgnores extracts //homesight:ignore and //homesight:rawcorr
+// directives from the file's comments.
+func collectIgnores(fset *token.FileSet, file *ast.File) ignoreSet {
+	out := ignoreSet{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rules, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			flags := out[pos.Line]
+			if flags == nil {
+				flags = ruleFlags{}
+				out[pos.Line] = flags
+			}
+			for _, r := range rules {
+				flags[r] = true
+			}
+			if pos.Column == 1 || isCommentOnlyLine(fset, file, pos) {
+				flags["standalone"] = true
+			}
+		}
+	}
+	return out
+}
+
+// isCommentOnlyLine reports whether the comment at pos shares its line
+// with no code. Comments attached to declarations start at the line's
+// first token, so comparing against the file's token positions is enough:
+// a same-line code token would start at a smaller column.
+func isCommentOnlyLine(fset *token.FileSet, file *ast.File, pos token.Position) bool {
+	only := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if p.Line == pos.Line && p.Column < pos.Column {
+			only = false
+			return false
+		}
+		return true
+	})
+	return only
+}
+
+// parseDirective parses one comment line into the rules it suppresses.
+func parseDirective(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, "homesight:rawcorr"):
+		return []string{"sig-gate"}, true
+	case strings.HasPrefix(text, "homesight:ignore"):
+		rest := strings.TrimPrefix(text, "homesight:ignore")
+		// Everything after an em dash or "--" is rationale, not rule names.
+		for _, sep := range []string{"—", "--"} {
+			if i := strings.Index(rest, sep); i >= 0 {
+				rest = rest[:i]
+			}
+		}
+		var rules []string
+		for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+			rules = append(rules, f)
+		}
+		if len(rules) == 0 {
+			rules = []string{"*"}
+		}
+		return rules, true
+	}
+	return nil, false
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts the backquoted pattern of a `// want `...`` comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+
+// wantComment is one expected diagnostic: a regexp that must match a
+// finding reported on the same line.
+type wantComment struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans a fixture file for `// want `regexp`` comments.
+func parseWants(t *testing.T, filename string) []*wantComment {
+	t.Helper()
+	f, err := os.Open(filename)
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	defer func() { _ = f.Close() }() // read-only
+
+	var wants []*wantComment
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", filename, line, m[1], err)
+		}
+		wants = append(wants, &wantComment{line: line, pattern: re})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan fixture: %v", err)
+	}
+	return wants
+}
+
+// TestGolden runs each rule over the fixture package named after it under
+// testdata/src and requires the findings to match the `// want` comments
+// exactly: every want matched by a finding on its line, every finding
+// claimed by a want.
+func TestGolden(t *testing.T) {
+	mod, err := NewModule(".")
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("read testdata/src: %v", err)
+	}
+	if len(entries) != len(All()) {
+		t.Errorf("testdata/src has %d fixture dirs, want one per rule (%d)", len(entries), len(All()))
+	}
+	for _, entry := range entries {
+		rule := entry.Name()
+		t.Run(rule, func(t *testing.T) {
+			analyzers, err := ByName(rule)
+			if err != nil {
+				t.Fatalf("fixture dir %q does not name a rule: %v", rule, err)
+			}
+			dir := filepath.Join("testdata", "src", rule)
+			pkg, err := mod.LoadDir(dir, "fixture/"+rule)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture must type-check; got %v", pkg.TypeErrors)
+			}
+
+			var wants []*wantComment
+			for _, file := range pkg.Files {
+				filename := pkg.Fset.Position(file.Pos()).Filename
+				wants = append(wants, parseWants(t, filename)...)
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want comments", rule)
+			}
+
+			findings := RunPackage(pkg, analyzers)
+			for _, f := range findings {
+				claimed := false
+				for _, w := range wants {
+					if w.line == f.Pos.Line && !w.matched && w.pattern.MatchString(f.Message) {
+						w.matched = true
+						claimed = true
+						break
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("line %d: want %q, got no matching finding", w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// TestSelfCheck asserts the vetted repository stays clean: every package in
+// the module type-checks and produces zero findings under every rule. This
+// is the same invariant `go run ./cmd/homesight-vet ./...` enforces in CI.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	mod, err := NewModule(root)
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	pkgs, err := mod.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadAll returned no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, te)
+		}
+		for _, f := range RunPackage(pkg, All()) {
+			t.Errorf("repo is not vet-clean: %s", f)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("sig-gate,float-eq")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "sig-gate" || got[1].Name != "float-eq" {
+		t.Errorf("ByName(sig-gate,float-eq) = %v", got)
+	}
+	if _, err := ByName("no-such-rule"); err == nil {
+		t.Error("ByName(no-such-rule) succeeded, want error")
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text  string
+		rules []string
+		ok    bool
+	}{
+		{"//homesight:rawcorr — deliberate", []string{"sig-gate"}, true},
+		{"//homesight:ignore float-eq — tie detection", []string{"float-eq"}, true},
+		{"//homesight:ignore float-eq, bare-alpha -- two rules", []string{"float-eq", "bare-alpha"}, true},
+		{"//homesight:ignore", []string{"*"}, true},
+		{"// ordinary comment", nil, false},
+	}
+	for _, tc := range cases {
+		rules, ok := parseDirective(tc.text)
+		if ok != tc.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if len(rules) != len(tc.rules) {
+			t.Errorf("parseDirective(%q) = %v, want %v", tc.text, rules, tc.rules)
+			continue
+		}
+		for i := range rules {
+			if rules[i] != tc.rules[i] {
+				t.Errorf("parseDirective(%q) = %v, want %v", tc.text, rules, tc.rules)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags statements that call a function returning an error and
+// silently discard the whole result: plain expression statements plus go
+// and defer statements. Discarding must be explicit (`_ = f()`), handled,
+// or the callee must be on the small always-safe allowlist (fmt printers
+// and the never-failing in-memory writers).
+var DroppedErr = &Analyzer{
+	Name: "dropped-err",
+	Doc: "an error result is silently discarded; handle it, assign it to _, " +
+		"or annotate //homesight:ignore dropped-err",
+	Run: runDroppedErr,
+}
+
+// droppedErrSafeFuncs lists package-level functions whose error result is
+// conventionally ignored.
+var droppedErrSafeFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Println": true, "Printf": true,
+		"Fprint": true, "Fprintln": true, "Fprintf": true,
+	},
+}
+
+// droppedErrSafeRecvs lists receiver types whose methods never return a
+// non-nil error (documented contracts in the stdlib).
+var droppedErrSafeRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runDroppedErr(pass *Pass) {
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = st.X.(*ast.CallExpr)
+		case *ast.GoStmt:
+			call = st.Call
+		case *ast.DeferStmt:
+			call = st.Call
+		}
+		if call == nil {
+			return true
+		}
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || !returnsError(sig) || safeCallee(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign to _",
+			calleeName(call))
+		return true
+	})
+}
+
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func safeCallee(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return droppedErrSafeRecvs[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+		}
+		return false
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	return droppedErrSafeFuncs[fn.Pkg().Path()][fn.Name()]
+}
+
+// calleeName renders a short human-readable name for the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact equality
+// on floats silently breaks under rounding (the KPSS/correlation pipelines
+// are all float64 arithmetic); the fix is math.Abs(x-y) < eps, or an
+// explicit //homesight:ignore float-eq where exact tie detection is the
+// algorithm (rank statistics). Comparisons against an exact constant zero
+// are allowed: zero is a deliberate sentinel throughout the codebase
+// (unset parameters, zero variance guards).
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc: "floating-point ==/!= is exact and breaks under rounding; compare " +
+		"math.Abs(x-y) < eps (comparison against literal 0 is allowed)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.TypeOf(bin.X)) || !isFloat(pass.TypeOf(bin.Y)) {
+			return true
+		}
+		// Both sides compile-time constants: the comparison is exact by
+		// construction (e.g. switch over enumerated parameter values).
+		if isConst(pass, bin.X) && isConst(pass, bin.Y) {
+			return true
+		}
+		if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+			return true
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s is exact; use math.Abs(x-y) < eps (or compare against 0)", bin.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return f == 0
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGoroutine flags `go func(...){...}(...)` literals with no join or
+// cancellation mechanism in reach: no sync.WaitGroup, no channel
+// operation, no context.Context referenced by the literal's body or
+// arguments. Collector-style fan-out must be joinable, otherwise shutdown
+// paths leak goroutines and the race detector cannot see their writes
+// ordered with the parent — the exact class of bug the ROADMAP's
+// production-scale target cannot afford.
+var NakedGoroutine = &Analyzer{
+	Name: "naked-goroutine",
+	Doc: "a go func literal with no WaitGroup, channel or context in scope " +
+		"is unjoinable; fan-out must have a join or cancel path",
+	Run: runNakedGoroutine,
+}
+
+func runNakedGoroutine(pass *Pass) {
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if _, ok := gostmt.Call.Fun.(*ast.FuncLit); !ok {
+			// `go s.loop()` launches a named method: the receiver owns the
+			// lifecycle (e.g. a Close method); only literals are checked.
+			return true
+		}
+		if joinable(pass, gostmt.Call) {
+			return true
+		}
+		pass.Reportf(gostmt.Pos(),
+			"goroutine has no join or cancel mechanism (sync.WaitGroup, channel, or context.Context); unjoinable fan-out leaks on shutdown")
+		return true
+	})
+}
+
+// joinable reports whether the go statement's function literal or its
+// arguments reference any synchronization primitive that can join or
+// cancel the goroutine.
+func joinable(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// Channel receive, or taking the address of a WaitGroup.
+			if isChan(pass.TypeOf(e)) || isSyncType(pass.TypeOf(e)) {
+				found = true
+			}
+		case *ast.Ident:
+			t := pass.TypeOf(e)
+			if isChan(t) || isSyncType(t) || isContext(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSyncType matches sync.WaitGroup (and pointers to it).
+func isSyncType(t types.Type) bool {
+	return namedIs(t, "sync", "WaitGroup")
+}
+
+func isContext(t types.Type) bool {
+	return namedIs(t, "context", "Context")
+}
+
+func namedIs(t types.Type, pkg, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the bare-alpha rule: the paper's thresholds
+// may not appear as bare literals outside const declarations.
+package fixture
+
+// Naming the threshold in a const declaration is the fix: no findings.
+const (
+	namedAlpha = 0.05
+	namedPhi   = 0.6
+)
+
+var thresholds = []float64{
+	0.05, // want `magic threshold 0\.05 must reference a named constant`
+	0.8,  // want `magic threshold 0\.8 must reference a named constant`
+}
+
+func gate(p float64) bool {
+	if p < 0.05 { // want `magic threshold 0\.05`
+		return true
+	}
+	return p > 0.42 // unrelated literal: no finding
+}
+
+func capped(tau float64) float64 {
+	if tau > 5000 { // want `magic threshold 5000`
+		return 5000.0 // want `magic threshold 5000\.0`
+	}
+	return tau
+}
+
+func phi() float64 {
+	return 0.60 // want `magic threshold 0\.60`
+}
+
+func localNamed() float64 {
+	const groupFraction = 0.75 // local const declarations also name it: no finding
+	return groupFraction
+}
+
+func coincidence() float64 {
+	return 0.75 //homesight:ignore bare-alpha — coincidental fraction, not ¾φ
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the dropped-err rule: statements discarding an
+// error result must be explicit about it.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func drops(f *os.File) {
+	mayFail()       // want `error result of mayFail is silently discarded`
+	pair()          // want `error result of pair is silently discarded`
+	f.Close()       // want `error result of f\.Close is silently discarded`
+	defer f.Close() // want `error result of f\.Close is silently discarded`
+	go mayFail()    // want `error result of mayFail is silently discarded`
+}
+
+func handles(f *os.File, b *strings.Builder) {
+	_ = mayFail() // explicit discard: no finding
+	if err := mayFail(); err != nil {
+		fmt.Println(err) // fmt printers are allowlisted: no finding
+	}
+	b.WriteString("x") // strings.Builder never fails: no finding
+	noError()          // no error in the results: no finding
+	deliberate(f)
+}
+
+func deliberate(f *os.File) {
+	f.Close() //homesight:ignore dropped-err — best-effort cleanup
+}

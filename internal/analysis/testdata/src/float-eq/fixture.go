@@ -1,0 +1,34 @@
+// Package fixture exercises the float-eq rule: exact ==/!= between floats
+// is flagged unless a side is constant zero (or both sides are constants).
+package fixture
+
+import "math"
+
+func compared(a, b float64) bool {
+	if a == b { // want `floating-point == is exact`
+		return true
+	}
+	return a != b // want `floating-point != is exact`
+}
+
+func typed(a, b float32) bool {
+	return a == b // want `floating-point == is exact`
+}
+
+func allowed(a, b float64, n, m int) bool {
+	const eps = 1e-9
+	ok := math.Abs(a-b) < eps // the suggested rewrite: no finding
+	if a == 0 || 0.0 != b {   // constant-zero comparisons: no finding
+		ok = !ok
+	}
+	return ok && n == m // integer equality: no finding
+}
+
+const half, quarter = 0.5, 0.25
+
+// Both sides compile-time constants — exact by construction: no finding.
+var exact = half == quarter*2
+
+func tieDetection(a, b float64) bool {
+	return a == b //homesight:ignore float-eq — exact tie detection is the algorithm
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the naked-goroutine rule: go func literals
+// must reference a join or cancel mechanism.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func naked() {
+	go func() { // want `goroutine has no join or cancel mechanism`
+		println("orphan")
+	}()
+}
+
+func nakedWithArgs(i int) {
+	go func(i int) { // want `goroutine has no join or cancel mechanism`
+		println(i)
+	}(i)
+}
+
+func waitGroupJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // joined through the WaitGroup: no finding
+		defer wg.Done()
+	}()
+}
+
+func channelJoined(done chan struct{}) {
+	go func() { // close(done) is the join signal: no finding
+		defer close(done)
+	}()
+}
+
+func channelSend(results chan<- int) {
+	go func() { // sending the result is the join: no finding
+		results <- 1
+	}()
+}
+
+func contextBound(ctx context.Context) {
+	go func() { // cancellable through the context: no finding
+		<-ctx.Done()
+	}()
+}
+
+type server struct{ wg sync.WaitGroup }
+
+func (s *server) loop() {}
+
+func method(s *server) {
+	go s.loop() // named method: the receiver owns the lifecycle, no finding
+}
+
+func acknowledged() {
+	//homesight:ignore naked-goroutine — fire-and-forget by design
+	go func() {
+		println("acknowledged orphan")
+	}()
+}

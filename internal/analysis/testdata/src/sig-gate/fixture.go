@@ -1,0 +1,36 @@
+// Package fixture exercises the sig-gate rule: raw coefficient calls must
+// go through corrsim or carry the rawcorr opt-out.
+package fixture
+
+import (
+	"homesight/internal/corrsim"
+	"homesight/internal/stats/corr"
+)
+
+func direct(x, y []float64) float64 {
+	r, _ := corr.Pearson(x, y)  // want `raw corr\.Pearson bypasses the Definition 1 significance gate`
+	s, _ := corr.Spearman(x, y) // want `raw corr\.Spearman bypasses`
+	k, _ := corr.Kendall(x, y)  // want `raw corr\.Kendall bypasses`
+	return r.Coeff + s.Coeff + k.Coeff
+}
+
+func gated(x, y []float64) float64 {
+	// Routed through Definition 1: no finding.
+	return corrsim.Cor(x, y) + corrsim.Default.Similarity(x, y)
+}
+
+func optedOutInline(x, y []float64) float64 {
+	r, _ := corr.Pearson(x, y) //homesight:rawcorr — the raw coefficient is the point here
+	return r.Coeff
+}
+
+func optedOutAbove(x, y []float64) float64 {
+	//homesight:rawcorr — the raw coefficient is the point here
+	r, _ := corr.Spearman(x, y)
+	return r.Coeff
+}
+
+// acf is fine: only the three coefficient entry points are gated.
+func acf(x []float64) []float64 {
+	return corr.ACF(x, 4)
+}

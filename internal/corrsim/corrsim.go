@@ -80,6 +80,13 @@ type Measure struct {
 // Default is the paper's measure at α = 0.05.
 var Default = Measure{Alpha: DefaultAlpha}
 
+// Cor is cor(X, Y) per Definition 1 at the paper's α — the
+// significance-gated entry point the sig-gate rule of internal/analysis
+// steers every caller of the raw coefficients to.
+func Cor(x, y []float64) float64 {
+	return Default.Similarity(x, y)
+}
+
 // alpha returns the effective significance level.
 func (m Measure) alpha() float64 {
 	if m.Alpha <= 0 {

@@ -58,7 +58,7 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only
 	var man Manifest
 	if err := json.NewDecoder(f).Decode(&man); err != nil {
 		return nil, fmt.Errorf("dataset: parsing manifest: %w", err)
@@ -78,7 +78,7 @@ func LoadGatewayCSV(path, id string, start time.Time, minutes int) (*Gateway, er
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only
 	return ReadCSV(f, id, start, minutes)
 }
 

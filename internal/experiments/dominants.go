@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"homesight/internal/corrsim"
 	"homesight/internal/devices"
 	"homesight/internal/dominance"
 	"homesight/internal/report"
@@ -228,11 +229,15 @@ func TabResidentsCorrelation(e *Env) ResidentsResult {
 			}
 		}
 	}
-	if r, err := corr.Pearson(residents, dominants); err == nil {
-		res.CorrAll = r
+	// Routed through the Definition 1 machinery (UsePearson variant) so the
+	// raw r is reported together with the significance test the paper
+	// quotes ("0.53, significant").
+	pearson := corrsim.Measure{Use: corrsim.UsePearson}
+	if d := pearson.Detailed(residents, dominants); d.N >= 3 {
+		res.CorrAll = d.Pearson
 	}
-	if r, err := corr.Pearson(resSmall, domSmall); err == nil {
-		res.CorrSmall = r
+	if d := pearson.Detailed(resSmall, domSmall); d.N >= 3 {
+		res.CorrSmall = d.Pearson
 	}
 	if oneUser > 0 {
 		res.OneUserOneDominant = float64(oneUserOneDom) / float64(oneUser)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"homesight/internal/aggregate"
+	"homesight/internal/core"
 	"homesight/internal/devices"
 	"homesight/internal/motif"
 	"homesight/internal/report"
@@ -264,7 +265,7 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 			intersect := 0
 			for _, dw := range devWins {
 				sim := det.Measure.Similarity(dw.vals.Values, gwWin.Values)
-				if sim > 0.6 {
+				if sim > core.DominancePhi {
 					winDom++
 					res.TypeDist[dw.dev.Inferred]++
 					if overallMACs[dw.dev.MAC] {

@@ -7,6 +7,8 @@ import (
 
 	"homesight/internal/background"
 	"homesight/internal/cluster"
+	"homesight/internal/core"
+	"homesight/internal/corrsim"
 	"homesight/internal/devices"
 	"homesight/internal/report"
 	"homesight/internal/stats"
@@ -101,7 +103,10 @@ func TabInOutCorrelation(e *Env) InOutResult {
 				}
 			}
 		}
-		r, err := corr.Pearson(in, out)
+		// The paper reports the distribution of the *raw* coefficient here
+		// (mean ≈ .92): gating insignificant values to zero would shift the
+		// mean, so this site deliberately bypasses Definition 1.
+		r, err := corr.Pearson(in, out) //homesight:rawcorr
 		if err != nil || math.IsNaN(r.Coeff) {
 			continue
 		}
@@ -253,10 +258,10 @@ func TabStationarityTests(e *Env) StationarityTestsResult {
 		// stationary gateways").
 		s := e.RawOverall(idx, 28).FillMissing(0)
 		res.Gateways++
-		if k, err := tests.KPSS(s.Values, -1); err == nil && k.PValue < 0.05 {
+		if k, err := tests.KPSS(s.Values, -1); err == nil && k.PValue < core.Alpha {
 			res.KPSSRejected++
 		}
-		if a, err := tests.ADF(s.Values, -1); err == nil && a.PValue > 0.05 {
+		if a, err := tests.ADF(s.Values, -1); err == nil && a.PValue > core.Alpha {
 			res.ADFUnitRootNotRejected++
 		}
 		// Pairwise KS across the four weeks of minute values.
@@ -276,7 +281,7 @@ func TabStationarityTests(e *Env) StationarityTestsResult {
 					continue
 				}
 				res.KSWeekPairs++
-				if ks.Rejected(0.05) {
+				if ks.Rejected(core.Alpha) {
 					res.KSWeekPairsRejected++
 				}
 			}
@@ -314,12 +319,16 @@ func TabDeviceCountCorrelation(e *Env) DeviceCountResult {
 		const days = 7
 		overall := truncate(h.Overall(), days)
 		counts := truncate(h.ConnectedCount(), days)
-		r, err := corr.Spearman(overall.FillMissing(0).Values, counts.FillMissing(0).Values)
-		if err != nil || math.IsNaN(r.Coeff) {
+		// Routed through the Definition 1 machinery (UseSpearman variant):
+		// Detailed exposes the raw ρ alongside its significance test.
+		d := corrsim.Measure{Use: corrsim.UseSpearman}.
+			Detailed(overall.FillMissing(0).Values, counts.FillMissing(0).Values)
+		r := d.Spearman
+		if d.N < 3 || math.IsNaN(r.Coeff) {
 			continue
 		}
 		coeffs = append(coeffs, r.Coeff)
-		if r.Significant(0.05) {
+		if r.Significant(core.Alpha) {
 			significant++
 		}
 	}

@@ -7,6 +7,7 @@
 package motif
 
 import (
+	"math"
 	"sort"
 
 	"homesight/internal/corrsim"
@@ -86,7 +87,7 @@ func (m *Motif) MeanProfile() []float64 {
 		}
 		peak := 0.0
 		for _, v := range vals {
-			if v == v && v > peak {
+			if !math.IsNaN(v) && v > peak {
 				peak = v
 			}
 		}
@@ -94,7 +95,7 @@ func (m *Motif) MeanProfile() []float64 {
 			continue
 		}
 		for i, v := range vals {
-			if v == v {
+			if !math.IsNaN(v) {
 				prof[i] += v / peak
 			}
 		}

@@ -44,7 +44,7 @@ func formatFloat(v float64) string {
 	if math.Abs(v) >= 1e6 || (math.Abs(v) < 1e-3 && v != 0) {
 		return fmt.Sprintf("%.3g", v)
 	}
-	if v == math.Trunc(v) {
+	if v == math.Trunc(v) { //homesight:ignore float-eq — integrality test is exact by design
 		return fmt.Sprintf("%.0f", v)
 	}
 	return fmt.Sprintf("%.3f", v)

@@ -8,6 +8,7 @@
 package stationarity
 
 import (
+	"math"
 	"time"
 
 	"homesight/internal/corrsim"
@@ -144,7 +145,7 @@ func (c Checker) CheckByWeekday(windows []timeseries.Window) WeekdayResult {
 func observed(xs []float64) []float64 {
 	out := make([]float64, 0, len(xs))
 	for _, v := range xs {
-		if v == v { // not NaN
+		if !math.IsNaN(v) {
 			out = append(out, v)
 		}
 	}

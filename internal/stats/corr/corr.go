@@ -112,7 +112,7 @@ func Kendall(x, y []float64) (Result, error) {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		if x[idx[a]] != x[idx[b]] {
+		if x[idx[a]] != x[idx[b]] { //homesight:ignore float-eq — exact tie grouping for τ-b
 			return x[idx[a]] < x[idx[b]]
 		}
 		return y[idx[a]] < y[idx[b]]
@@ -166,7 +166,7 @@ func tiePairSum(sorted []float64) float64 {
 	total := 0.0
 	for i := 0; i < len(sorted); {
 		j := i
-		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] { //homesight:ignore float-eq — exact tie grouping
 			j++
 		}
 		t := float64(j - i + 1)
@@ -182,7 +182,7 @@ func jointTiePairSum(xs, ys []float64) float64 {
 	total := 0.0
 	for i := 0; i < len(xs); {
 		j := i
-		for j+1 < len(xs) && xs[j+1] == xs[i] && ys[j+1] == ys[i] {
+		for j+1 < len(xs) && xs[j+1] == xs[i] && ys[j+1] == ys[i] { //homesight:ignore float-eq — exact tie grouping
 			j++
 		}
 		t := float64(j - i + 1)
@@ -275,7 +275,7 @@ func tieGroupSizes(sorted []float64) []float64 {
 	var groups []float64
 	for i := 0; i < len(sorted); {
 		j := i
-		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] { //homesight:ignore float-eq — exact tie grouping
 			j++
 		}
 		groups = append(groups, float64(j-i+1))

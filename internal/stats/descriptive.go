@@ -195,7 +195,7 @@ func Ranks(xs []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] { //homesight:ignore float-eq — rank ties are exact equality
 			j++
 		}
 		// Average rank for the tie group [i, j].

@@ -80,7 +80,7 @@ func (t StudentsT) TwoSidedP(x float64) float64 {
 
 // Quantile returns the value q such that CDF(q) = p.
 func (t StudentsT) Quantile(p float64) float64 {
-	if p == 0.5 {
+	if p == 0.5 { //homesight:ignore float-eq — exact median short-circuit
 		return 0
 	}
 	v := t.DF

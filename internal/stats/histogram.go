@@ -43,7 +43,7 @@ func AutoHistogram(xs []float64) *Histogram {
 		return nil
 	}
 	lo, hi := Min(xs), Max(xs)
-	if lo == hi {
+	if lo == hi { //homesight:ignore float-eq — degenerate-range sentinel is exact
 		hi = lo + 1
 	}
 	b, _ := NewBoxplot(xs, DefaultWhiskerK)

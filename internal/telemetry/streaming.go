@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"homesight/internal/background"
 	"homesight/internal/gateway"
 	"homesight/internal/motif"
 	"homesight/internal/timeseries"
@@ -47,7 +48,7 @@ func (sm *StreamingMotifs) spec() timeseries.WindowSpec {
 
 func (sm *StreamingMotifs) tau() float64 {
 	if sm.Tau == 0 {
-		return 5000
+		return background.CapBytes
 	}
 	return sm.Tau
 }

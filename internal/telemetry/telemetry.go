@@ -129,7 +129,7 @@ func (c *Collector) acceptLoop() {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		c.conns[conn] = true
@@ -142,7 +142,7 @@ func (c *Collector) acceptLoop() {
 func (c *Collector) serveConn(conn net.Conn) {
 	defer c.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		c.mu.Lock()
 		delete(c.conns, conn)
 		c.mu.Unlock()
@@ -162,6 +162,25 @@ func (c *Collector) serveConn(conn net.Conn) {
 	}
 }
 
+// Drain stops accepting new connections and waits for the existing
+// handlers to read their streams to EOF. Unlike Close it does not tear
+// down live connections, so reports still buffered in the sockets are
+// fully ingested; after Drain returns the store's recorders are safe to
+// read. Drain blocks until every client has disconnected — callers must
+// ensure the reporters have closed (or will close) their ends.
+func (c *Collector) Drain() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
 // Close stops accepting, closes all connections and waits for handlers.
 func (c *Collector) Close() error {
 	c.mu.Lock()
@@ -171,7 +190,7 @@ func (c *Collector) Close() error {
 	}
 	c.closed = true
 	for conn := range c.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	c.mu.Unlock()
 	err := c.ln.Close()
@@ -213,7 +232,7 @@ func (r *Reporter) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.bw.Flush(); err != nil {
-		r.conn.Close()
+		_ = r.conn.Close() // flush error wins
 		return err
 	}
 	return r.conn.Close()

@@ -77,25 +77,27 @@ func TestCollectorEndToEnd(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	// Close flushes client buffers; wait for the collector to drain by
-	// polling the store (the connections deliver asynchronously).
+	// Every sender has disconnected. Wait until each stream has been
+	// accepted (its recorder exists — a lock-protected lookup), then drain:
+	// the handlers join at EOF and the recorders become safe to read.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		done := 0
 		for g := 0; g < gateways; g++ {
-			if rec := store.Recorder(gwID(g)); rec != nil {
-				if in, _ := rec.Series("m1", minutes); in != nil && !math.IsNaN(in.Values[minutes-1]) {
-					done++
-				}
+			if store.Recorder(gwID(g)) != nil {
+				done++
 			}
 		}
 		if done == gateways {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("collector drained only %d/%d gateways", done, gateways)
+			t.Fatalf("collector accepted only %d/%d gateways", done, gateways)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
 	}
 	// Verify reconstructed values.
 	for g := 0; g < gateways; g++ {
@@ -123,6 +125,9 @@ func TestCollectorCloseIsIdempotentish(t *testing.T) {
 	}
 	if err := col.Close(); err != ErrClosed {
 		t.Errorf("second close = %v, want ErrClosed", err)
+	}
+	if err := col.Drain(); err != ErrClosed {
+		t.Errorf("drain after close = %v, want ErrClosed", err)
 	}
 }
 
@@ -228,19 +233,21 @@ func TestStreamingViaCollector(t *testing.T) {
 		}
 	}
 	rep.Close()
-	// Wait for the stream to drain, then flush the final day.
+	// Wait for the stream to be accepted, drain it to EOF, then flush the
+	// final day.
 	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if rec := store.Recorder("gwB"); rec != nil {
-			in, _ := rec.Series("m1", total)
-			if in != nil && !math.IsNaN(in.Values[total-1]) {
-				break
-			}
-		}
+	for store.Recorder("gwB") == nil {
 		if time.Now().After(deadline) {
-			t.Fatal("stream did not drain")
+			t.Fatal("stream was never accepted")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := store.Recorder("gwB").Series("m1", total)
+	if in == nil || math.IsNaN(in.Values[total-1]) {
+		t.Fatal("stream did not drain")
 	}
 	sm.Flush()
 	motifs := sm.Motifs()
@@ -331,16 +338,20 @@ func TestCollectorReportsIngestErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
 	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if rec := store.Recorder("gwE"); rec != nil {
-			if in, _ := rec.Series("m1", 2); in != nil && !math.IsNaN(in.Values[1]) {
-				return
-			}
-		}
+	for store.Recorder("gwE") == nil {
 		if time.Now().After(deadline) {
 			t.Fatal("connection died after ingest error")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if in, _ := store.Recorder("gwE").Series("m1", 2); in == nil || math.IsNaN(in.Values[1]) {
+		t.Fatal("good reports after the ingest error were not ingested")
 	}
 }
