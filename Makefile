@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check
+.PHONY: build test race vet lint bench bench-build check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -17,5 +17,12 @@ vet: ## stock go vet
 lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha)
 	$(GO) run ./cmd/homesight-vet ./...
 
-check: vet race lint ## the full CI gate: vet + race tests + homesight-vet
+bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit rate)
+	HOMESIGHT_BENCH_JSON=BENCH_runner.json $(GO) test -run TestBenchRunnerJSON -count=1 .
+	$(GO) test -run NONE -bench BenchmarkRunner -benchtime 1x .
+
+bench-build: ## compile the benchmark harness without running it (check smoke)
+	$(GO) test -c -o /dev/null .
+
+check: vet race lint bench-build ## the full CI gate: vet + race tests + homesight-vet + bench smoke
 	@echo "check: all gates passed"

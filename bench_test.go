@@ -11,6 +11,7 @@
 package homesight
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -33,6 +34,7 @@ import (
 var (
 	benchOnce sync.Once
 	benchE    *experiments.Env
+	benchErr  error
 
 	weeklyOnce sync.Once
 	weeklySet  experiments.MotifSetResult
@@ -46,8 +48,12 @@ var (
 func env(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchE = experiments.NewEnv(synth.Config{Homes: 16, Weeks: 6})
+		benchE, benchErr = experiments.NewEnv(
+			experiments.WithHomes(16), experiments.WithWeeks(6))
 	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
 	return benchE
 }
 
@@ -56,7 +62,7 @@ func weeklyMotifs(b *testing.B) (experiments.MotifSetResult, []experiments.Motif
 	e := env(b)
 	weeklyOnce.Do(func() {
 		var err error
-		weeklySet, err = experiments.MineWeeklyMotifs(e)
+		weeklySet, err = experiments.MineWeeklyMotifs(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +76,7 @@ func dailyMotifs(b *testing.B) (experiments.MotifSetResult, []experiments.MotifP
 	e := env(b)
 	dailyOnce.Do(func() {
 		var err error
-		dailySet, err = experiments.MineDailyMotifs(e)
+		dailySet, err = experiments.MineDailyMotifs(context.Background(), e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,9 +91,9 @@ func BenchmarkFig01TypicalGateway(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig01TypicalGateway(e)
-		if r.GatewayID == "" {
-			b.Fatal("empty result")
+		r, err := experiments.Fig01TypicalGateway(context.Background(), e)
+		if err != nil || r.GatewayID == "" {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -96,8 +102,9 @@ func BenchmarkTabInOutCorrelation(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.TabInOutCorrelation(e); r.Gateways == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.TabInOutCorrelation(context.Background(), e)
+		if err != nil || r.Gateways == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -106,8 +113,9 @@ func BenchmarkFig02ACFCCF(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.Fig02ACFCCF(e); len(r.BestACF) == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.Fig02ACFCCF(context.Background(), e)
+		if err != nil || len(r.BestACF) == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -116,8 +124,9 @@ func BenchmarkTabStationarityTests(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.TabStationarityTests(e); r.Gateways == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.TabStationarityTests(context.Background(), e)
+		if err != nil || r.Gateways == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -126,8 +135,9 @@ func BenchmarkTabDeviceCountCorrelation(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.TabDeviceCountCorrelation(e); r.Gateways == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.TabDeviceCountCorrelation(context.Background(), e)
+		if err != nil || r.Gateways == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -136,8 +146,9 @@ func BenchmarkFig03Clustering(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.Fig03Clustering(e); len(r.Clusters) == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.Fig03Clustering(context.Background(), e)
+		if err != nil || len(r.Clusters) == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -146,8 +157,9 @@ func BenchmarkFig04BackgroundTau(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.Fig04BackgroundTau(e); r.Devices == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.Fig04BackgroundTau(context.Background(), e)
+		if err != nil || r.Devices == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -156,8 +168,9 @@ func BenchmarkFig05DominantDevices(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.Fig05DominantDevices(e); r.Gateways == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.Fig05DominantDevices(context.Background(), e)
+		if err != nil || r.Gateways == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -166,8 +179,9 @@ func BenchmarkTabDominanceAgreement(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.TabDominanceAgreement(e); r.Gateways == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.TabDominanceAgreement(context.Background(), e)
+		if err != nil || r.Gateways == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -176,8 +190,9 @@ func BenchmarkTabResidentsCorrelation(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.TabResidentsCorrelation(e); r.SurveyHomes == 0 {
-			b.Fatal("empty result")
+		r, err := experiments.TabResidentsCorrelation(context.Background(), e)
+		if err != nil || r.SurveyHomes == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -186,7 +201,7 @@ func BenchmarkFig06WeeklyAggregation(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig06WeeklyAggregation(e)
+		r, err := experiments.Fig06WeeklyAggregation(context.Background(), e)
 		if err != nil || r.Cohort == 0 {
 			b.Fatalf("bad result: %v", err)
 		}
@@ -197,7 +212,7 @@ func BenchmarkFig07StationaryGateways(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig07StationaryGateways(e)
+		r, err := experiments.Fig07StationaryGateways(context.Background(), e)
 		if err != nil || len(r.Bins) == 0 {
 			b.Fatalf("bad result: %v", err)
 		}
@@ -208,7 +223,7 @@ func BenchmarkFig08DailyAggregation(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig08DailyAggregation(e)
+		r, err := experiments.Fig08DailyAggregation(context.Background(), e)
 		if err != nil || len(r.Points) == 0 {
 			b.Fatalf("bad result: %v", err)
 		}
@@ -219,7 +234,7 @@ func BenchmarkTabStationaryShare(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.TabStationaryShare(e)
+		r, err := experiments.TabStationaryShare(context.Background(), e)
 		if err != nil || r.Cohort == 0 {
 			b.Fatalf("bad result: %v", err)
 		}
@@ -230,7 +245,7 @@ func BenchmarkFig09MotifSupport(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w, err := experiments.MineWeeklyMotifs(e)
+		w, err := experiments.MineWeeklyMotifs(context.Background(), e)
 		if err != nil || w.Windows == 0 {
 			b.Fatalf("bad result: %v", err)
 		}
@@ -263,8 +278,9 @@ func BenchmarkFig12WeeklyMotifDominants(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if d := experiments.AnalyzeMotifDominance(e, set, prof); len(d) == 0 {
-			b.Fatal("empty result")
+		d, err := experiments.AnalyzeMotifDominance(context.Background(), e, set, prof)
+		if err != nil || len(d) == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -274,7 +290,10 @@ func BenchmarkFig13WeeklyMotifTypes(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		doms := experiments.AnalyzeMotifDominance(e, set, prof)
+		doms, err := experiments.AnalyzeMotifDominance(context.Background(), e, set, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
 		_ = experiments.RenderMotifDominance("fig13", doms, false)
 	}
 }
@@ -294,8 +313,9 @@ func BenchmarkFig15DailyMotifDominants(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if d := experiments.AnalyzeMotifDominance(e, set, prof); len(d) == 0 {
-			b.Fatal("empty result")
+		d, err := experiments.AnalyzeMotifDominance(context.Background(), e, set, prof)
+		if err != nil || len(d) == 0 {
+			b.Fatalf("bad result: %v", err)
 		}
 	}
 }
@@ -305,7 +325,10 @@ func BenchmarkFig16DailyMotifTypes(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		doms := experiments.AnalyzeMotifDominance(e, set, prof)
+		doms, err := experiments.AnalyzeMotifDominance(context.Background(), e, set, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
 		_ = experiments.RenderMotifDominance("fig16", doms, true)
 	}
 }

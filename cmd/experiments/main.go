@@ -5,151 +5,27 @@
 //
 //	go run ./cmd/experiments | tee experiments_output.txt
 //
-// Flags scale the run down for quick looks (-homes, -weeks) and select a
-// subset of experiments (-run, comma-separated ids like fig5,fig9).
+// The experiments execute on the parallel runner engine; -parallel sets the
+// worker count (output is byte-identical at any setting), -timeout bounds
+// each experiment, and -metrics writes the per-run timing and cache-counter
+// report as JSON. Flags scale the run down for quick looks (-homes, -weeks)
+// and select a subset of experiments (-run, comma-separated ids like
+// fig5,fig9).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"homesight/internal/experiments"
-	"homesight/internal/synth"
+	"homesight/internal/runner"
+	"homesight/internal/telemetry"
 )
-
-// experiment binds an id to a runner.
-type experiment struct {
-	id  string
-	fn  func(*experiments.Env) (fmt.Stringer, error)
-	doc string
-}
-
-// stringerFn adapts plain-result runners.
-func wrap(f func(*experiments.Env) fmt.Stringer) func(*experiments.Env) (fmt.Stringer, error) {
-	return func(e *experiments.Env) (fmt.Stringer, error) { return f(e), nil }
-}
-
-type str string
-
-func (s str) String() string { return string(s) }
-
-// results accumulates every runner's output so the final shape-check pass
-// can evaluate the paper's qualitative claims across experiments.
-var results experiments.Results
-
-var all = []experiment{
-	{"fig1", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Fig01 = experiments.Fig01TypicalGateway(e)
-		return results.Fig01
-	}),
-		"typical gateway distribution anatomy"},
-	{"inout", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.InOut = experiments.TabInOutCorrelation(e)
-		return results.InOut
-	}),
-		"incoming/outgoing correlation"},
-	{"fig2", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Fig02 = experiments.Fig02ACFCCF(e)
-		return results.Fig02
-	}),
-		"autocorrelation and cross-correlation"},
-	{"unitroot", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.UnitRoot = experiments.TabStationarityTests(e)
-		return results.UnitRoot
-	}),
-		"KPSS/ADF/KS stationarity tests"},
-	{"devcount", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.DevCount = experiments.TabDeviceCountCorrelation(e)
-		return results.DevCount
-	}),
-		"traffic vs connected-device count"},
-	{"fig3", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Fig03 = experiments.Fig03Clustering(e)
-		return results.Fig03
-	}),
-		"correlation-distance clustering"},
-	{"fig4", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Fig04 = experiments.Fig04BackgroundTau(e)
-		return results.Fig04
-	}),
-		"background threshold distribution"},
-	{"heuristic", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Heuristic = experiments.TabHeuristicValidation(e)
-		return results.Heuristic
-	}),
-		"device-type heuristic vs survey truth"},
-	{"fig5", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Fig05 = experiments.Fig05DominantDevices(e)
-		return results.Fig05
-	}),
-		"dominant devices and types"},
-	{"agreement", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Agreement = experiments.TabDominanceAgreement(e)
-		return results.Agreement
-	}),
-		"dominance notion agreement"},
-	{"residents", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Residents = experiments.TabResidentsCorrelation(e)
-		return results.Residents
-	}),
-		"dominants vs residents survey"},
-	{"ablation", wrap(func(e *experiments.Env) fmt.Stringer {
-		results.Ablation = experiments.TabSimilarityAblation(e)
-		return results.Ablation
-	}),
-		"similarity measure variant ablation"},
-	{"fig6", func(e *experiments.Env) (fmt.Stringer, error) {
-		var err error
-		results.Fig06, err = experiments.Fig06WeeklyAggregation(e)
-		return results.Fig06, err
-	}, "weekly aggregation curves"},
-	{"fig7", func(e *experiments.Env) (fmt.Stringer, error) {
-		var err error
-		results.Fig07, err = experiments.Fig07StationaryGateways(e)
-		return results.Fig07, err
-	}, "stationary gateways per granularity"},
-	{"fig8", func(e *experiments.Env) (fmt.Stringer, error) {
-		var err error
-		results.Fig08, err = experiments.Fig08DailyAggregation(e)
-		return results.Fig08, err
-	}, "daily aggregation curves"},
-	{"stationary", func(e *experiments.Env) (fmt.Stringer, error) {
-		var err error
-		results.Share, err = experiments.TabStationaryShare(e)
-		return results.Share, err
-	}, "stationary share with/without background"},
-	{"motifs", runMotifs, "weekly and daily motifs (figs 9-16)"},
-}
-
-// runMotifs chains Figs. 9-16: mining, motifs of interest and per-motif
-// dominance for both families.
-func runMotifs(e *experiments.Env) (fmt.Stringer, error) {
-	var b strings.Builder
-
-	var err error
-	if results.Weekly, err = experiments.MineWeeklyMotifs(e); err != nil {
-		return nil, err
-	}
-	b.WriteString(results.Weekly.String())
-	results.WeeklyOfInterest = experiments.WeeklyMotifsOfInterest(results.Weekly)
-	b.WriteString(experiments.RenderProfiles("Fig 11 — weekly motifs of interest", results.WeeklyOfInterest))
-	results.WeeklyDominance = experiments.AnalyzeMotifDominance(e, results.Weekly, results.WeeklyOfInterest)
-	b.WriteString(experiments.RenderMotifDominance("Fig 12/13 — weekly motifs", results.WeeklyDominance, false))
-
-	if results.Daily, err = experiments.MineDailyMotifs(e); err != nil {
-		return nil, err
-	}
-	b.WriteString(results.Daily.String())
-	results.DailyOfInterest = experiments.DailyMotifsOfInterest(results.Daily)
-	b.WriteString(experiments.RenderProfiles("Fig 14 — daily motifs of interest", results.DailyOfInterest))
-	results.DailyDominance = experiments.AnalyzeMotifDominance(e, results.Daily, results.DailyOfInterest)
-	b.WriteString(experiments.RenderMotifDominance("Fig 15/16 — daily motifs", results.DailyDominance, true))
-
-	return str(b.String()), nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -159,34 +35,96 @@ func main() {
 	weeks := flag.Int("weeks", 8, "campaign length in weeks")
 	seed := flag.Int64("seed", 0, "master seed (default 20140317)")
 	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for the engine and per-gateway fan-out (1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
+	metricsPath := flag.String("metrics", "", `write run metrics JSON to this path ("-" = stderr)`)
 	flag.Parse()
+
+	opts := []experiments.Option{
+		experiments.WithHomes(*homes),
+		experiments.WithWeeks(*weeks),
+		experiments.WithParallelism(*parallel),
+	}
+	if *seed != 0 {
+		opts = append(opts, experiments.WithSeed(*seed))
+	}
+	env, err := experiments.NewEnv(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var results experiments.Results
+	reg := runner.NewRegistry()
+	for _, x := range runner.StandardExperiments(&results) {
+		if err := reg.Register(x); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*runList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
+			if _, known := reg.Get(id); !known {
+				log.Fatalf("unknown experiment id %q", id)
+			}
 			selected[id] = true
 		}
 	}
+	var exps []runner.Experiment
+	for _, x := range reg.Experiments() {
+		if len(selected) > 0 && !selected[x.ID()] {
+			continue
+		}
+		exps = append(exps, x)
+	}
 
-	env := experiments.NewEnv(synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed})
 	fmt.Printf("homesight experiments — %d gateways, %d weeks, seed %d\n\n",
 		env.Dep.Config().Homes, env.Dep.Config().Weeks, env.Dep.Config().Seed)
 
-	for _, ex := range all {
-		if len(selected) > 0 && !selected[ex.id] {
+	eng := runner.Engine{Parallelism: *parallel, Timeout: *timeout}
+	reports, metrics, runErr := eng.Run(context.Background(), env, exps)
+
+	// Reports come back in registration order whatever the parallelism, so
+	// stdout is byte-identical between -parallel=1 and -parallel=N. Timings
+	// live in the metrics report, not here, for the same reason.
+	for i, rep := range reports {
+		if rep.Err != nil {
 			continue
 		}
-		start := time.Now()
-		res, err := ex.fn(env)
-		if err != nil {
-			log.Fatalf("%s: %v", ex.id, err)
-		}
-		fmt.Printf("=== %s — %s (%.1fs)\n%s\n", ex.id, ex.doc, time.Since(start).Seconds(), res)
+		fmt.Printf("=== %s — %s\n%s\n", rep.ID, exps[i].Doc(), rep.Result.Text)
 	}
 
 	// With every experiment run, evaluate the paper's qualitative claims.
-	if len(selected) == 0 {
+	if len(selected) == 0 && runErr == nil {
 		fmt.Printf("=== shapes — qualitative claims\n%s\n",
 			experiments.RenderShapeChecks(results.ShapeChecks()))
 	}
+
+	if err := writeMetrics(*metricsPath, metrics); err != nil {
+		log.Fatal(err)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// writeMetrics emits the run report to the given path ("" = skip,
+// "-" = stderr so it composes with stdout redirection).
+func writeMetrics(path string, m telemetry.RunMetrics) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return m.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

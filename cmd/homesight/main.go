@@ -16,11 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"homesight/internal/background"
@@ -29,7 +31,6 @@ import (
 	"homesight/internal/dominance"
 	"homesight/internal/experiments"
 	"homesight/internal/report"
-	"homesight/internal/synth"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	homes := fs.Int("homes", 60, "number of gateways to simulate")
 	weeks := fs.Int("weeks", 6, "campaign length in weeks")
 	seed := fs.Int64("seed", 0, "master seed (default 20140317)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count for per-gateway fan-out")
 	gatewayID := fs.String("gw", "", "restrict output to one gateway id")
 	dataDir := fs.String("data", "", "analyze a homesim export instead of simulating")
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +58,18 @@ func main() {
 		return
 	}
 
-	env := experiments.NewEnv(synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed})
+	opts := []experiments.Option{
+		experiments.WithHomes(*homes),
+		experiments.WithWeeks(*weeks),
+		experiments.WithParallelism(*parallel),
+	}
+	if *seed != 0 {
+		opts = append(opts, experiments.WithSeed(*seed))
+	}
+	env, err := experiments.NewEnv(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	switch cmd {
 	case "dominants":
@@ -137,7 +150,10 @@ func runFromData(cmd, dir, only string) {
 }
 
 func runDominants(env *experiments.Env, only string) {
-	res := experiments.Fig05DominantDevices(env)
+	res, err := experiments.Fig05DominantDevices(context.Background(), env)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(res)
 	if only != "" {
 		printGatewayDominants(env, only)
@@ -166,7 +182,7 @@ func printGatewayDominants(env *experiments.Env, id string) {
 }
 
 func runMotifs(env *experiments.Env) {
-	weekly, err := experiments.MineWeeklyMotifs(env)
+	weekly, err := experiments.MineWeeklyMotifs(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -174,7 +190,7 @@ func runMotifs(env *experiments.Env) {
 	fmt.Print(experiments.RenderProfiles("Weekly motifs of interest (Fig 11)",
 		experiments.WeeklyMotifsOfInterest(weekly)))
 
-	daily, err := experiments.MineDailyMotifs(env)
+	daily, err := experiments.MineDailyMotifs(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -184,12 +200,12 @@ func runMotifs(env *experiments.Env) {
 }
 
 func runAggregate(env *experiments.Env) {
-	w, err := experiments.Fig06WeeklyAggregation(env)
+	w, err := experiments.Fig06WeeklyAggregation(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(w)
-	d, err := experiments.Fig08DailyAggregation(env)
+	d, err := experiments.Fig08DailyAggregation(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -197,12 +213,12 @@ func runAggregate(env *experiments.Env) {
 }
 
 func runStationary(env *experiments.Env) {
-	share, err := experiments.TabStationaryShare(env)
+	share, err := experiments.TabStationaryShare(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(share)
-	f7, err := experiments.Fig07StationaryGateways(env)
+	f7, err := experiments.Fig07StationaryGateways(context.Background(), env)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -210,7 +226,11 @@ func runStationary(env *experiments.Env) {
 }
 
 func runBackground(env *experiments.Env) {
-	fmt.Print(experiments.Fig04BackgroundTau(env))
+	res, err := experiments.Fig04BackgroundTau(context.Background(), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
 }
 
 func runSimilarity(env *experiments.Env, ids []string) {

@@ -151,6 +151,36 @@ func (m Measure) Detailed(x, y []float64) Detail {
 	return d
 }
 
+// SimilarityUnder re-evaluates Definition 1 from the already-computed
+// coefficients as measure m would have scored them: the largest
+// coefficient among m's selection that is significant at m's α, or 0.
+// One Detailed computation can therefore back arbitrarily many measure
+// variants — the experiment Env's pairwise cache and the ablation table
+// depend on this. The Detail must have been produced with every
+// coefficient in m.Use included (UseAll satisfies any m): excluded
+// coefficients are stored as never-significant and would silently read
+// as "insignificant" here.
+func (d Detail) SimilarityUnder(m Measure) float64 {
+	alpha := m.alpha()
+	best := 0.0
+	for _, c := range []struct {
+		use Coefficients
+		r   corr.Result
+	}{
+		{UsePearson, d.Pearson},
+		{UseSpearman, d.Spearman},
+		{UseKendall, d.Kendall},
+	} {
+		if !m.Use.has(c.use) {
+			continue
+		}
+		if c.r.Significant(alpha) && c.r.Coeff > best {
+			best = c.r.Coeff
+		}
+	}
+	return best
+}
+
 // Distance returns the correlation distance 1 − cor(X, Y) used by the
 // hierarchical clustering of Fig. 3. It ranges over [0, 1] because
 // Definition 1 never returns a negative similarity (an insignificant or

@@ -226,3 +226,38 @@ func TestSimilarityScaleInvarianceQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSimilarityUnderMatchesDirectMeasure checks the cache-sharing
+// contract: a Detail computed with UseAll re-scored by SimilarityUnder
+// must match computing each variant measure directly.
+func TestSimilarityUnderMatchesDirectMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.ExpFloat64() * 1e4
+		y[i] = x[i]*0.5 + rng.ExpFloat64()*5e3
+		if i%37 == 0 {
+			x[i] = math.NaN() // exercise the missing-pair path too
+		}
+	}
+	full := Measure{Use: UseAll}.Detailed(x, y)
+	variants := []Measure{
+		{},
+		{Use: UseAll},
+		{Use: UsePearson},
+		{Use: UseSpearman},
+		{Use: UseKendall},
+		{Use: UsePearson | UseKendall},
+		{Alpha: 0.01},
+		{Alpha: 0.2, Use: UseSpearman},
+	}
+	for _, m := range variants {
+		want := m.Similarity(x, y)
+		got := full.SimilarityUnder(m)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("SimilarityUnder(%+v) = %g, direct = %g", m, got, want)
+		}
+	}
+}

@@ -56,6 +56,12 @@ type Detector struct {
 	Measure corrsim.Measure
 	// Phi is the dominance threshold (0 → DefaultPhi).
 	Phi float64
+	// Similarity, when non-nil, supplies the Definition 1 similarity of
+	// device k against the gateway instead of Measure.Similarity. The
+	// experiments Env routes its pairwise-correlation cache through this
+	// hook; any implementation must be equivalent to Measure.Similarity
+	// on the same inputs or the Definition 4 semantics change.
+	Similarity func(k int, ds DeviceSeries, gateway *timeseries.Series) float64
 }
 
 // Default is the paper's detector (φ = 0.6, α = 0.05).
@@ -79,10 +85,16 @@ func (d Detector) Detect(gateway *timeseries.Series, devs []DeviceSeries) Result
 	// traffic, not "skip the minute": skipping would hand sparse guest
 	// devices an artificially tiny distance.
 	zgw := gateway.FillMissing(0)
-	for _, ds := range devs {
+	for k, ds := range devs {
+		sim := 0.0
+		if d.Similarity != nil {
+			sim = d.Similarity(k, ds, gateway)
+		} else {
+			sim = d.Measure.Similarity(ds.Series.Values, gateway.Values)
+		}
 		sc := Score{
 			Device:     ds.Device,
-			Similarity: d.Measure.Similarity(ds.Series.Values, gateway.Values),
+			Similarity: sim,
 			Traffic:    ds.Series.Total(),
 		}
 		// Equal lengths by construction; an error would be a caller bug and

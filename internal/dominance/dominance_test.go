@@ -224,3 +224,39 @@ func TestDetectSkipsAllNaNDevice(t *testing.T) {
 		t.Errorf("ghost similarity = %g", res.All[0].Similarity)
 	}
 }
+
+// TestDetectorSimilarityHook checks that a non-nil Similarity hook replaces
+// Measure.Similarity as the Definition 4 input — the seam the experiments
+// Env uses to route its pairwise-correlation cache into detection.
+func TestDetectorSimilarityHook(t *testing.T) {
+	gw := mkSeries([]float64{1, 2, 3, 4, 5, 6})
+	devs := []DeviceSeries{
+		mkDevice("aa:aa:aa:00:00:01", []float64{0, 0, 0, 0, 0, 0}),
+		mkDevice("aa:aa:aa:00:00:02", []float64{0, 0, 0, 0, 0, 0}),
+		mkDevice("aa:aa:aa:00:00:03", []float64{0, 0, 0, 0, 0, 0}),
+	}
+	canned := []float64{0.3, 0.95, 0.7}
+	var seen []int
+	det := Detector{Similarity: func(k int, ds DeviceSeries, gateway *timeseries.Series) float64 {
+		seen = append(seen, k)
+		if gateway != gw {
+			t.Error("hook did not receive the gateway series")
+		}
+		return canned[k]
+	}}
+	res := det.Detect(gw, devs)
+	if len(seen) != len(devs) {
+		t.Fatalf("hook called for %d devices, want %d", len(seen), len(devs))
+	}
+	if len(res.Dominants) != 2 {
+		t.Fatalf("dominants = %d, want the two above φ=0.6", len(res.Dominants))
+	}
+	if res.Dominants[0].Device.MAC != "aa:aa:aa:00:00:02" ||
+		res.Dominants[1].Device.MAC != "aa:aa:aa:00:00:03" {
+		t.Errorf("dominants order = %s, %s",
+			res.Dominants[0].Device.MAC, res.Dominants[1].Device.MAC)
+	}
+	if math.Abs(res.Dominants[0].Similarity-0.95) > 1e-12 {
+		t.Errorf("similarity = %g, want the hook's value", res.Dominants[0].Similarity)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"homesight/internal/corrsim"
@@ -34,29 +35,43 @@ var ablationVariants = []struct {
 }
 
 // TabSimilarityAblation runs the dominance detection under each variant.
-func TabSimilarityAblation(e *Env) AblationResult {
-	e.ensureGateways()
+// All four variants are re-derived from the Env's pairwise coefficient
+// cache via Detail.SimilarityUnder, so a home's three correlation
+// coefficients are computed once instead of once per variant.
+func TabSimilarityAblation(ctx context.Context, e *Env) (AblationResult, error) {
 	res := AblationResult{
 		Dominants:    make(map[string]int),
 		GatewaysWith: make(map[string]int),
 	}
-	days := e.WeeksMain * 7
-	for _, gc := range e.gateways {
-		if !gc.weeklyCoverageMain {
-			continue
+	idxs := e.WeeklyCohortIndexes()
+	type perHome [4]int // dominants per variant, ablationVariants order
+	per := make([]perHome, len(idxs))
+	if err := e.forEach(ctx, len(idxs), func(j int) {
+		details := e.PairDetails(idxs[j])
+		for vi, v := range ablationVariants {
+			m := corrsim.Measure{Use: v.use}
+			count := 0
+			for _, d := range details {
+				// Detect's dominance criterion: similarity strictly above φ.
+				if d.SimilarityUnder(m) > dominance.DefaultPhi {
+					count++
+				}
+			}
+			per[j][vi] = count
 		}
+	}); err != nil {
+		return AblationResult{}, err
+	}
+	for _, p := range per {
 		res.Gateways++
-		gw, devs := e.deviceSeriesForHome(gc.index, days)
-		for _, v := range ablationVariants {
-			det := dominance.Detector{Measure: corrsim.Measure{Use: v.use}}
-			out := det.Detect(gw, devs)
-			res.Dominants[v.name] += len(out.Dominants)
-			if len(out.Dominants) > 0 {
+		for vi, v := range ablationVariants {
+			res.Dominants[v.name] += p[vi]
+			if p[vi] > 0 {
 				res.GatewaysWith[v.name]++
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.

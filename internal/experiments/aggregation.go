@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,23 +23,38 @@ type Fig06Result struct {
 
 // Fig06WeeklyAggregation sweeps the weekly candidate binnings over the
 // weekly-coverage cohort (active traffic, background removed as in
-// Sec. 7.1).
-func Fig06WeeklyAggregation(e *Env) (Fig06Result, error) {
+// Sec. 7.1). The (bin, phase) sweep points are independent, so they fan
+// out across the Env's parallelism.
+func Fig06WeeklyAggregation(ctx context.Context, e *Env) (Fig06Result, error) {
 	_, cohort := e.WeeklyCohort(e.WeeksMain)
 	res := Fig06Result{Cohort: len(cohort)}
 	an := e.Framework.Analyzer()
+	type job struct {
+		bin   time.Duration
+		phase time.Duration
+	}
+	var jobs []job
 	for _, bin := range aggregate.WeeklyBins {
-		p, err := an.WeeklyPoint(cohort, bin, 0)
-		if err != nil {
-			return res, err
-		}
-		res.Midnight = append(res.Midnight, p)
+		jobs = append(jobs, job{bin: bin, phase: 0})
 		if bin > 2*time.Hour {
-			p2, err := an.WeeklyPoint(cohort, bin, 2*time.Hour)
-			if err != nil {
-				return res, err
-			}
-			res.TwoAM = append(res.TwoAM, p2)
+			jobs = append(jobs, job{bin: bin, phase: 2 * time.Hour})
+		}
+	}
+	points := make([]aggregate.CurvePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	if err := e.forEach(ctx, len(jobs), func(k int) {
+		points[k], errs[k] = an.WeeklyPoint(cohort, jobs[k].bin, jobs[k].phase)
+	}); err != nil {
+		return res, err
+	}
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return res, errs[k]
+		}
+		if j.phase == 0 {
+			res.Midnight = append(res.Midnight, points[k])
+		} else {
+			res.TwoAM = append(res.TwoAM, points[k])
 		}
 	}
 	// The winner is chosen on the all-gateway curve (Definition 3 is over
@@ -82,18 +98,24 @@ var fig07Bins = []time.Duration{
 
 // Fig07StationaryGateways counts strongly stationary gateways per daily
 // granularity over the daily-coverage cohort.
-func Fig07StationaryGateways(e *Env) (Fig07Result, error) {
+func Fig07StationaryGateways(ctx context.Context, e *Env) (Fig07Result, error) {
 	_, cohort := e.DailyCohort()
 	res := Fig07Result{Cohort: len(cohort)}
 	an := e.Framework.Analyzer()
-	for _, bin := range fig07Bins {
-		p, err := an.DailyPoint(cohort, bin)
-		if err != nil {
-			return res, err
+	points := make([]aggregate.CurvePoint, len(fig07Bins))
+	errs := make([]error, len(fig07Bins))
+	if err := e.forEach(ctx, len(fig07Bins), func(k int) {
+		points[k], errs[k] = an.DailyPoint(cohort, fig07Bins[k])
+	}); err != nil {
+		return res, err
+	}
+	for k, bin := range fig07Bins {
+		if errs[k] != nil {
+			return res, errs[k]
 		}
 		res.Bins = append(res.Bins, bin)
-		res.Stationary = append(res.Stationary, p.StationaryGateways)
-		res.DayDist = append(res.DayDist, p.StationaryDayDist)
+		res.Stationary = append(res.Stationary, points[k].StationaryGateways)
+		res.DayDist = append(res.DayDist, points[k].StationaryDayDist)
 	}
 	return res, nil
 }
@@ -122,16 +144,22 @@ type Fig08Result struct {
 }
 
 // Fig08DailyAggregation sweeps the daily candidate binnings.
-func Fig08DailyAggregation(e *Env) (Fig08Result, error) {
+func Fig08DailyAggregation(ctx context.Context, e *Env) (Fig08Result, error) {
 	_, cohort := e.DailyCohort()
 	res := Fig08Result{Cohort: len(cohort)}
 	an := e.Framework.Analyzer()
-	for _, bin := range aggregate.DailyBins {
-		p, err := an.DailyPoint(cohort, bin)
-		if err != nil {
-			return res, err
+	points := make([]aggregate.CurvePoint, len(aggregate.DailyBins))
+	errs := make([]error, len(aggregate.DailyBins))
+	if err := e.forEach(ctx, len(aggregate.DailyBins), func(k int) {
+		points[k], errs[k] = an.DailyPoint(cohort, aggregate.DailyBins[k])
+	}); err != nil {
+		return res, err
+	}
+	for k := range aggregate.DailyBins {
+		if errs[k] != nil {
+			return res, errs[k]
 		}
-		res.Points = append(res.Points, p)
+		res.Points = append(res.Points, points[k])
 	}
 	res.Best = aggregate.Best(res.Points, false)
 	return res, nil
@@ -174,28 +202,43 @@ func (r StationaryShareResult) ActiveShare() float64 {
 }
 
 // TabStationaryShare evaluates weekly strong stationarity at 3h bins.
-func TabStationaryShare(e *Env) (StationaryShareResult, error) {
-	e.ensureGateways()
+func TabStationaryShare(ctx context.Context, e *Env) (StationaryShareResult, error) {
 	res := StationaryShareResult{}
 	an := e.Framework.Analyzer()
 	days := e.WeeksMain * 7
-	for _, gc := range e.gateways {
-		if !gc.weeklyCoverageMain {
-			continue
-		}
-		res.Cohort++
+	idxs := e.WeeklyCohortIndexes()
+	type perHome struct {
+		raw, act bool
+		err      error
+	}
+	per := make([]perHome, len(idxs))
+	if err := e.forEach(ctx, len(idxs), func(j int) {
+		gc := e.gateways[idxs[j]]
+		p := &per[j]
 		raw, err := an.WeeklyGateway(truncate(gc.raw, days), 3*time.Hour, 0)
 		if err != nil {
-			return res, err
+			p.err = err
+			return
 		}
-		if raw.Stationary {
-			res.RawStationary++
-		}
+		p.raw = raw.Stationary
 		act, err := an.WeeklyGateway(truncate(gc.active, days), 3*time.Hour, 0)
 		if err != nil {
-			return res, err
+			p.err = err
+			return
 		}
-		if act.Stationary {
+		p.act = act.Stationary
+	}); err != nil {
+		return res, err
+	}
+	for _, p := range per {
+		if p.err != nil {
+			return res, p.err
+		}
+		res.Cohort++
+		if p.raw {
+			res.RawStationary++
+		}
+		if p.act {
 			res.ActiveStationary++
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,7 +10,6 @@ import (
 	"homesight/internal/dominance"
 	"homesight/internal/report"
 	"homesight/internal/stats/corr"
-	"homesight/internal/timeseries"
 )
 
 // Fig05Result reproduces Fig. 5 and the dominant-device counts of Sec. 6.2.
@@ -28,36 +28,22 @@ type Fig05Result struct {
 	TotalDominants int
 }
 
-// deviceSeriesForHome builds the dominance inputs of home index i over the
-// first `days` days.
-func (e *Env) deviceSeriesForHome(i, days int) (*timeseries.Series, []dominance.DeviceSeries) {
-	h := e.Home(i)
-	gw := truncate(h.Overall(), days)
-	var devs []dominance.DeviceSeries
-	for _, dt := range h.Traffic() {
-		devs = append(devs, dominance.DeviceSeries{
-			Device: dt.Spec.Device,
-			Series: truncate(dt.Overall(), days),
-		})
-	}
-	return gw, devs
-}
-
 // Fig05DominantDevices runs Definition 4 over the weekly-coverage cohort.
-func Fig05DominantDevices(e *Env) Fig05Result {
-	e.ensureGateways()
+// The per-home detection goes through the Env's dominance cache, so the
+// agreement, residents and motif analyses reuse the same results.
+func Fig05DominantDevices(ctx context.Context, e *Env) (Fig05Result, error) {
 	res := Fig05Result{TotalByType: make(map[devices.Type]int)}
 	for r := range res.TypeByRank {
 		res.TypeByRank[r] = make(map[devices.Type]int)
 	}
-	days := e.WeeksMain * 7
-	det := e.Framework.Detector()
-	for _, gc := range e.gateways {
-		if !gc.weeklyCoverageMain {
-			continue
-		}
-		gw, devs := e.deviceSeriesForHome(gc.index, days)
-		out := det.Detect(gw, devs)
+	idxs := e.WeeklyCohortIndexes()
+	outs := make([]dominance.Result, len(idxs))
+	if err := e.forEach(ctx, len(idxs), func(j int) {
+		outs[j] = e.Dominance(idxs[j])
+	}); err != nil {
+		return Fig05Result{}, err
+	}
+	for _, out := range outs {
 		res.Gateways++
 		k := len(out.Dominants)
 		if k > 3 {
@@ -72,7 +58,7 @@ func Fig05DominantDevices(e *Env) Fig05Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -127,39 +113,44 @@ func (r AgreementResult) TrafficAgreement() float64 {
 }
 
 // TabDominanceAgreement compares dominance notions over the cohort.
-func TabDominanceAgreement(e *Env) AgreementResult {
-	e.ensureGateways()
-	res := AgreementResult{}
-	days := e.WeeksMain * 7
-	det := e.Framework.Detector()
-	strict := det
-	strict.Phi = dominance.StrictPhi
-	strictWith := 0
-	strictFixed, strictTotal := 0, 0
-	for _, gc := range e.gateways {
-		if !gc.weeklyCoverageMain {
-			continue
-		}
-		gw, devs := e.deviceSeriesForHome(gc.index, days)
-		out := det.Detect(gw, devs)
-		res.Gateways++
-		res.TotalDominants += len(out.Dominants)
-		res.EuclideanMatched += dominance.Agreement(out, dominance.EuclideanRanking(out.All))
-		res.TrafficMatched += dominance.Agreement(out, dominance.TrafficRanking(out.All))
+func TabDominanceAgreement(ctx context.Context, e *Env) (AgreementResult, error) {
+	type perHome struct {
+		dominants, eucMatched, trafMatched int
+		strictCount, strictFixed           int
+	}
+	idxs := e.WeeklyCohortIndexes()
+	per := make([]perHome, len(idxs))
+	if err := e.forEach(ctx, len(idxs), func(j int) {
+		out := e.Dominance(idxs[j])
+		p := &per[j]
+		p.dominants = len(out.Dominants)
+		p.eucMatched = dominance.Agreement(out, dominance.EuclideanRanking(out.All))
+		p.trafMatched = dominance.Agreement(out, dominance.TrafficRanking(out.All))
 
 		// φ = 0.8 ablation reuses the scored set: dominants are scores
 		// above the stricter threshold.
-		strictCount := 0
 		for _, sc := range out.All {
 			if sc.Similarity > dominance.StrictPhi {
-				strictCount++
-				strictTotal++
+				p.strictCount++
 				if sc.Device.Inferred == devices.Fixed {
-					strictFixed++
+					p.strictFixed++
 				}
 			}
 		}
-		if strictCount > 0 {
+	}); err != nil {
+		return AgreementResult{}, err
+	}
+	res := AgreementResult{}
+	strictWith := 0
+	strictFixed, strictTotal := 0, 0
+	for _, p := range per {
+		res.Gateways++
+		res.TotalDominants += p.dominants
+		res.EuclideanMatched += p.eucMatched
+		res.TrafficMatched += p.trafMatched
+		strictTotal += p.strictCount
+		strictFixed += p.strictFixed
+		if p.strictCount > 0 {
 			strictWith++
 		}
 	}
@@ -169,7 +160,7 @@ func TabDominanceAgreement(e *Env) AgreementResult {
 	if strictTotal > 0 {
 		res.StrictFixedShare = float64(strictFixed) / float64(strictTotal)
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -199,22 +190,27 @@ type ResidentsResult struct {
 
 // TabResidentsCorrelation correlates dominant counts with resident counts
 // over the survey subset.
-func TabResidentsCorrelation(e *Env) ResidentsResult {
+func TabResidentsCorrelation(ctx context.Context, e *Env) (ResidentsResult, error) {
 	e.ensureGateways()
-	days := e.WeeksMain * 7
-	det := e.Framework.Detector()
+	var surveyed []*gatewayCache
+	for _, gc := range e.gateways {
+		if gc.surveyed && gc.weeklyCoverageMain {
+			surveyed = append(surveyed, gc)
+		}
+	}
+	counts := make([]int, len(surveyed))
+	if err := e.forEach(ctx, len(surveyed), func(j int) {
+		counts[j] = len(e.Dominance(surveyed[j].index).Dominants)
+	}); err != nil {
+		return ResidentsResult{}, err
+	}
 	var residents, dominants []float64
 	var resSmall, domSmall []float64
 	oneUser, oneUserOneDom := 0, 0
 	res := ResidentsResult{}
-	for _, gc := range e.gateways {
-		if !gc.surveyed || !gc.weeklyCoverageMain {
-			continue
-		}
-		gw, devs := e.deviceSeriesForHome(gc.index, days)
-		out := det.Detect(gw, devs)
+	for j, gc := range surveyed {
 		res.SurveyHomes++
-		nd := float64(len(out.Dominants))
+		nd := float64(counts[j])
 		nr := float64(gc.residents)
 		residents = append(residents, nr)
 		dominants = append(dominants, nd)
@@ -224,7 +220,7 @@ func TabResidentsCorrelation(e *Env) ResidentsResult {
 		}
 		if gc.residents == 1 {
 			oneUser++
-			if len(out.Dominants) == 1 {
+			if counts[j] == 1 {
 				oneUserOneDom++
 			}
 		}
@@ -242,7 +238,7 @@ func TabResidentsCorrelation(e *Env) ResidentsResult {
 	if oneUser > 0 {
 		res.OneUserOneDominant = float64(oneUserOneDom) / float64(oneUser)
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.

@@ -1,24 +1,36 @@
 // Package experiments contains one runner per table and figure of the
-// paper's evaluation. Each runner takes an Env (a synthetic deployment plus
-// cohort caches) and returns a structured result that both the experiments
-// binary and the root benchmarks consume. DESIGN.md maps every runner to
-// its paper counterpart; EXPERIMENTS.md records paper-vs-measured values.
+// paper's evaluation. Each runner takes a context plus an Env (a synthetic
+// deployment, race-safe shared-computation caches, and a parallelism
+// budget) and returns a structured result that the experiments binary, the
+// runner engine and the root benchmarks consume. DESIGN.md maps every
+// runner to its paper counterpart; EXPERIMENTS.md records paper-vs-measured
+// values.
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"homesight/internal/background"
 	"homesight/internal/core"
+	"homesight/internal/corrsim"
 	"homesight/internal/dataset"
+	"homesight/internal/dominance"
 	"homesight/internal/synth"
+	"homesight/internal/telemetry"
 	"homesight/internal/timeseries"
 )
 
-// Env is the shared experiment environment: a deployment handle plus lazily
-// built cohort caches. Homes are regenerated on demand (generation is
-// deterministic and cheap) so only aggregate-level series are cached.
+// Env is the shared experiment environment: a deployment handle, lazily
+// built race-safe caches of the heavy intermediates every experiment
+// re-derives (per-home device series, pairwise correlation details,
+// dominance results, background thresholds), and the parallelism budget
+// for per-gateway fan-out. Homes themselves are regenerated on demand
+// (generation is deterministic and cheap relative to the analyses).
 type Env struct {
 	Dep *synth.Deployment
 	// Framework carries the paper's analysis parameters.
@@ -31,7 +43,17 @@ type Env struct {
 	// SurveyHomes is the size of the resident survey subset (paper: 49).
 	SurveyHomes int
 
-	gateways []*gatewayCache
+	parallelism int
+	stats       *telemetry.CacheStats
+
+	gatewaysOnce sync.Once
+	gatewaysCtr  *telemetry.CacheCounter
+	gateways     []*gatewayCache
+
+	series *memo[int, homeSeries]
+	pairs  *memo[int, []corrsim.Detail]
+	doms   *memo[int, dominance.Result]
+	taus   *memo[tauKey, background.Threshold]
 }
 
 // gatewayCache holds the per-home aggregate artifacts shared by the
@@ -53,14 +75,103 @@ type gatewayCache struct {
 	dailyCoverageMain   bool // >=1 obs every day of WeeksMain
 }
 
-// NewEnv builds an environment over a deployment configuration. The paper's
-// deployment is DefaultConfig; tests and benchmarks shrink Homes/Weeks.
-func NewEnv(cfg synth.Config) *Env {
+// homeSeries is the cached dominance input of one home: the gateway
+// overall plus every device's overall series, truncated to WeeksMain.
+type homeSeries struct {
+	gateway *timeseries.Series
+	devices []dominance.DeviceSeries
+}
+
+// tauKey keys the background-threshold cache. The same device estimated
+// over different windows yields different thresholds, so the window length
+// is part of the key.
+type tauKey struct{ home, device, days int }
+
+// Option configures NewEnv. Options validate eagerly: an out-of-range
+// value surfaces as a constructor error instead of a panic mid-run.
+type Option func(*envConfig) error
+
+type envConfig struct {
+	synth       synth.Config
+	parallelism int
+}
+
+// WithHomes sets the number of gateways (paper: 196); n must be >= 1.
+func WithHomes(n int) Option {
+	return func(c *envConfig) error {
+		if n < 1 {
+			return fmt.Errorf("experiments: WithHomes(%d): want >= 1", n)
+		}
+		c.synth.Homes = n
+		return nil
+	}
+}
+
+// WithWeeks sets the campaign length in weeks (paper: 8); n must be >= 1.
+// Analysis windows (WeeksMain, WeeksWeeklyMotif) clamp down to fit.
+func WithWeeks(n int) Option {
+	return func(c *envConfig) error {
+		if n < 1 {
+			return fmt.Errorf("experiments: WithWeeks(%d): want >= 1", n)
+		}
+		c.synth.Weeks = n
+		return nil
+	}
+}
+
+// WithSeed sets the master synth seed. Every home derives its own RNG
+// stream from (seed, home index), which is what lets the parallel engine
+// generate homes in any order and still match the sequential run.
+func WithSeed(seed int64) Option {
+	return func(c *envConfig) error {
+		c.synth.Seed = seed
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker fan-out of per-gateway inner loops;
+// n must be >= 1. 1 (the default) means strictly sequential.
+func WithParallelism(n int) Option {
+	return func(c *envConfig) error {
+		if n < 1 {
+			return fmt.Errorf("experiments: WithParallelism(%d): want >= 1", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// WithConfig replaces the whole synth configuration at once (zero fields
+// keep their defaults). Later WithHomes/WithWeeks/WithSeed options still
+// apply on top.
+func WithConfig(cfg synth.Config) Option {
+	return func(c *envConfig) error {
+		c.synth = cfg
+		return nil
+	}
+}
+
+// NewEnv builds an environment. Without options it mirrors the paper's
+// deployment (196 homes, 8 weeks, the fixed master seed); tests and
+// benchmarks scale down via WithHomes/WithWeeks. Invalid combinations are
+// rejected here rather than panicking mid-run.
+func NewEnv(opts ...Option) (*Env, error) {
+	cfg := envConfig{parallelism: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.synth.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Env{
-		Dep:              synth.NewDeployment(cfg),
+		Dep:              synth.NewDeployment(cfg.synth),
 		WeeksMain:        4,
 		WeeksWeeklyMotif: 6,
 		SurveyHomes:      49,
+		parallelism:      cfg.parallelism,
+		stats:            telemetry.NewCacheStats(),
 	}
 	if e.WeeksWeeklyMotif > e.Dep.Config().Weeks {
 		e.WeeksWeeklyMotif = e.Dep.Config().Weeks
@@ -68,35 +179,148 @@ func NewEnv(cfg synth.Config) *Env {
 	if e.WeeksMain > e.Dep.Config().Weeks {
 		e.WeeksMain = e.Dep.Config().Weeks
 	}
-	return e
+	e.gatewaysCtr = e.stats.Counter("gateway-aggregates")
+	e.series = newMemo[int, homeSeries](e.stats.Counter("device-series"))
+	e.pairs = newMemo[int, []corrsim.Detail](e.stats.Counter("pair-similarity"))
+	e.doms = newMemo[int, dominance.Result](e.stats.Counter("dominance"))
+	e.taus = newMemo[tauKey, background.Threshold](e.stats.Counter("background-threshold"))
+	return e, nil
 }
+
+// Parallelism returns the worker budget of per-gateway fan-out.
+func (e *Env) Parallelism() int { return e.parallelism }
+
+// CacheStats snapshots the hit/miss counters of every shared cache.
+func (e *Env) CacheStats() map[string]telemetry.CacheSnapshot { return e.stats.Snapshot() }
 
 // Home regenerates home i (cheap and deterministic).
 func (e *Env) Home(i int) *synth.Home { return e.Dep.Home(i) }
 
-// ensureGateways builds the per-home aggregate cache on first use.
-func (e *Env) ensureGateways() {
-	if e.gateways != nil {
-		return
+// memo is a race-safe lazy cache: concurrent callers of get share one
+// build per key (the first caller builds, the rest block on its Once),
+// and every lookup is counted on the Env's cache stats.
+type memo[K comparable, V any] struct {
+	counter *telemetry.CacheCounter
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	v    V
+}
+
+func newMemo[K comparable, V any](c *telemetry.CacheCounter) *memo[K, V] {
+	return &memo[K, V]{counter: c, entries: make(map[K]*memoEntry[V])}
+}
+
+func (m *memo[K, V]) get(k K, build func() V) V {
+	m.mu.Lock()
+	e := m.entries[k]
+	if e == nil {
+		e = &memoEntry[V]{}
+		m.entries[k] = e
+		m.counter.Miss()
+	} else {
+		m.counter.Hit()
 	}
-	nHomes := e.Dep.NumHomes()
-	e.gateways = make([]*gatewayCache, 0, nHomes)
-	for i := 0; i < nHomes; i++ {
-		h := e.Home(i)
-		gc := &gatewayCache{
-			id:        h.ID,
-			index:     i,
-			residents: h.Residents,
-			surveyed:  i < e.SurveyHomes,
-			archetype: h.Archetype,
-			raw:       h.Overall(),
-			active:    ActiveOverall(h),
+	m.mu.Unlock()
+	e.once.Do(func() { e.v = build() })
+	return e.v
+}
+
+// forEach runs fn(i) for every i in [0, n), fanned out across the Env's
+// parallelism. fn must confine its writes to per-index slots; callers
+// reduce those slots in index order afterwards, which is what keeps
+// parallel output byte-identical to the sequential path. Cancellation is
+// checked between items — a deadline stops scheduling new homes but never
+// interrupts one mid-flight, and caches are never left half-built.
+func (e *Env) forEach(ctx context.Context, n int, fn func(i int)) error {
+	p := e.parallelism
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
 		}
-		gc.weeklyCoverageMain = dataset.HasWeeklyCoverage(gc.raw, e.WeeksMain)
-		gc.weeklyCoverageMotif = dataset.HasWeeklyCoverage(gc.raw, e.WeeksWeeklyMotif)
-		gc.dailyCoverageMain = dataset.HasDailyCoverage(gc.raw, e.WeeksMain*7)
-		e.gateways = append(e.gateways, gc)
+		return nil
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ensureGateways builds the per-home aggregate cache on first use. The
+// build is guarded by a sync.Once — under the parallel engine many
+// experiments race to be first here, and the old nil-check-and-build was
+// a latent data race.
+func (e *Env) ensureGateways() {
+	built := false
+	e.gatewaysOnce.Do(func() {
+		built = true
+		nHomes := e.Dep.NumHomes()
+		e.gateways = make([]*gatewayCache, nHomes)
+		// The aggregate build itself fans out: each slot i is written by
+		// exactly one worker, and nothing reads e.gateways until Do returns.
+		_ = e.forEach(context.Background(), nHomes, func(i int) {
+			h := e.Home(i)
+			gc := &gatewayCache{
+				id:        h.ID,
+				index:     i,
+				residents: h.Residents,
+				surveyed:  i < e.SurveyHomes,
+				archetype: h.Archetype,
+				raw:       h.Overall(),
+				active:    e.activeOverall(i, h),
+			}
+			gc.weeklyCoverageMain = dataset.HasWeeklyCoverage(gc.raw, e.WeeksMain)
+			gc.weeklyCoverageMotif = dataset.HasWeeklyCoverage(gc.raw, e.WeeksWeeklyMotif)
+			gc.dailyCoverageMain = dataset.HasDailyCoverage(gc.raw, e.WeeksMain*7)
+			e.gateways[i] = gc
+		})
+	})
+	if built {
+		e.gatewaysCtr.Miss()
+	} else {
+		e.gatewaysCtr.Hit()
+	}
+}
+
+// Threshold returns the memoized τ_back of device dev in home i estimated
+// over the given in/out series; days disambiguates the estimation window.
+// The caller supplies the series (already truncated as needed) so the
+// cache never regenerates traffic just to key a lookup.
+func (e *Env) Threshold(i, dev, days int, in, out *timeseries.Series) background.Threshold {
+	return e.taus.get(tauKey{home: i, device: dev, days: days}, func() background.Threshold {
+		return background.EstimateThreshold(in, out)
+	})
+}
+
+// activeOverall is ActiveOverall with the per-device thresholds routed
+// through the Env's cache.
+func (e *Env) activeOverall(i int, h *synth.Home) *timeseries.Series {
+	days := e.Dep.Config().Weeks * 7
+	return activeOverall(h, func(dev int, dt *synth.DeviceTraffic) background.Threshold {
+		return e.Threshold(i, dev, days, dt.In, dt.Out)
+	})
 }
 
 // ActiveOverall computes a home's aggregated *active* traffic: each
@@ -104,9 +328,15 @@ func (e *Env) ensureGateways() {
 // (Sec. 6.1) before summing, so background chatter does not pollute the
 // aggregate patterns.
 func ActiveOverall(h *synth.Home) *timeseries.Series {
+	return activeOverall(h, func(_ int, dt *synth.DeviceTraffic) background.Threshold {
+		return background.EstimateThreshold(dt.In, dt.Out)
+	})
+}
+
+func activeOverall(h *synth.Home, threshold func(dev int, dt *synth.DeviceTraffic) background.Threshold) *timeseries.Series {
 	var sum *timeseries.Series
-	for _, dt := range h.Traffic() {
-		th := background.EstimateThreshold(dt.In, dt.Out)
+	for dev, dt := range h.Traffic() {
+		th := threshold(dev, dt)
 		act := dt.Overall().Threshold(th.Tau())
 		if sum == nil {
 			sum = act
@@ -133,6 +363,62 @@ func ActiveOverall(h *synth.Home) *timeseries.Series {
 	return out
 }
 
+// DeviceSeries returns the memoized dominance inputs of home i: the
+// gateway overall plus every device's overall series, truncated to the
+// main analysis window (WeeksMain). Callers must not mutate the returned
+// series — they are shared across experiments.
+func (e *Env) DeviceSeries(i int) (*timeseries.Series, []dominance.DeviceSeries) {
+	hs := e.series.get(i, func() homeSeries {
+		h := e.Home(i)
+		days := e.WeeksMain * 7
+		gw := truncate(h.Overall(), days)
+		devs := make([]dominance.DeviceSeries, 0, len(h.Devices))
+		for _, dt := range h.Traffic() {
+			devs = append(devs, dominance.DeviceSeries{
+				Device: dt.Spec.Device,
+				Series: truncate(dt.Overall(), days),
+			})
+		}
+		return homeSeries{gateway: gw, devices: devs}
+	})
+	return hs.gateway, hs.devices
+}
+
+// PairDetails returns the memoized Definition 1 correlation details of
+// every (device, gateway) series pair of home i over the main window,
+// computed with all three coefficients so any measure variant can be
+// re-derived via Detail.SimilarityUnder.
+func (e *Env) PairDetails(i int) []corrsim.Detail {
+	return e.pairs.get(i, func() []corrsim.Detail {
+		gw, devs := e.DeviceSeries(i)
+		m := e.Framework.Measure()
+		m.Use = corrsim.UseAll
+		out := make([]corrsim.Detail, len(devs))
+		for k, ds := range devs {
+			out[k] = m.Detailed(ds.Series.Values, gw.Values)
+		}
+		return out
+	})
+}
+
+// Dominance returns the memoized Definition 4 result of home i under the
+// framework detector over the main window. The detector reads its
+// similarities from the pairwise cache, so Fig. 5, the agreement table,
+// the residents table and the motif analysis all share one correlation
+// pass per home.
+func (e *Env) Dominance(i int) dominance.Result {
+	return e.doms.get(i, func() dominance.Result {
+		gw, devs := e.DeviceSeries(i)
+		details := e.PairDetails(i)
+		det := e.Framework.Detector()
+		measure := det.Measure
+		det.Similarity = func(k int, _ dominance.DeviceSeries, _ *timeseries.Series) float64 {
+			return details[k].SimilarityUnder(measure)
+		}
+		return det.Detect(gw, devs)
+	})
+}
+
 // WeeklyCohort returns the active series of homes with weekly coverage over
 // the first `weeks` weeks, truncated to that span.
 func (e *Env) WeeklyCohort(weeks int) (ids []string, series []*timeseries.Series) {
@@ -152,6 +438,20 @@ func (e *Env) WeeklyCohort(weeks int) (ids []string, series []*timeseries.Series
 		series = append(series, truncate(gc.active, weeks*7))
 	}
 	return ids, series
+}
+
+// WeeklyCohortIndexes returns the home indices of the WeeksMain weekly-
+// coverage cohort, in home order — the iteration axis of the dominance
+// experiments.
+func (e *Env) WeeklyCohortIndexes() []int {
+	e.ensureGateways()
+	var idxs []int
+	for _, gc := range e.gateways {
+		if gc.weeklyCoverageMain {
+			idxs = append(idxs, gc.index)
+		}
+	}
+	return idxs
 }
 
 // DailyCohort returns the active series of homes with daily coverage over

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -11,7 +12,6 @@ import (
 	"homesight/internal/motif"
 	"homesight/internal/stats"
 	"homesight/internal/stats/corr"
-	"homesight/internal/synth"
 )
 
 // The experiment runners are integration-heavy; all tests share one small
@@ -19,17 +19,40 @@ import (
 var (
 	envOnce sync.Once
 	testEnv *Env
+	envErr  error
 )
 
 func getEnv(t *testing.T) *Env {
 	t.Helper()
 	envOnce.Do(func() {
-		cfg := synth.DefaultConfig()
-		cfg.Homes = 40
-		cfg.Weeks = 6
-		testEnv = NewEnv(cfg)
+		testEnv, envErr = NewEnv(WithHomes(40), WithWeeks(6), WithParallelism(2))
 	})
+	if envErr != nil {
+		t.Fatalf("NewEnv: %v", envErr)
+	}
 	return testEnv
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(WithHomes(0)); err == nil {
+		t.Error("WithHomes(0) should be rejected")
+	}
+	if _, err := NewEnv(WithWeeks(-1)); err == nil {
+		t.Error("WithWeeks(-1) should be rejected")
+	}
+	if _, err := NewEnv(WithParallelism(0)); err == nil {
+		t.Error("WithParallelism(0) should be rejected")
+	}
+	e, err := NewEnv(WithHomes(3), WithWeeks(5), WithSeed(7), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	if e.Parallelism() != 4 {
+		t.Errorf("parallelism = %d", e.Parallelism())
+	}
+	if n := e.Dep.NumHomes(); n != 3 {
+		t.Errorf("homes = %d", n)
+	}
 }
 
 func TestEnvCohorts(t *testing.T) {
@@ -75,7 +98,10 @@ func TestTopObservedGateways(t *testing.T) {
 
 func TestFig01(t *testing.T) {
 	e := getEnv(t)
-	r := Fig01TypicalGateway(e)
+	r, err := Fig01TypicalGateway(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.GatewayID == "" {
 		t.Fatal("no gateway selected")
 	}
@@ -95,7 +121,10 @@ func TestFig01(t *testing.T) {
 
 func TestTabInOutCorrelation(t *testing.T) {
 	e := getEnv(t)
-	r := TabInOutCorrelation(e)
+	r, err := TabInOutCorrelation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Gateways < 20 {
 		t.Fatalf("gateways = %d", r.Gateways)
 	}
@@ -110,7 +139,10 @@ func TestTabInOutCorrelation(t *testing.T) {
 
 func TestFig02(t *testing.T) {
 	e := getEnv(t)
-	r := Fig02ACFCCF(e)
+	r, err := Fig02ACFCCF(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BestACFGateway == "" || len(r.BestACF) == 0 {
 		t.Fatal("no ACF computed")
 	}
@@ -136,7 +168,10 @@ func TestFig02(t *testing.T) {
 
 func TestTabStationarityTests(t *testing.T) {
 	e := getEnv(t)
-	r := TabStationarityTests(e)
+	r, err := TabStationarityTests(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Gateways == 0 {
 		t.Fatal("no gateways")
 	}
@@ -152,13 +187,19 @@ func TestTabStationarityTests(t *testing.T) {
 
 func TestTabDeviceCountCorrelation(t *testing.T) {
 	e := getEnv(t)
-	r := TabDeviceCountCorrelation(e)
+	r, err := TabDeviceCountCorrelation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Gateways < 20 {
 		t.Fatalf("gateways = %d", r.Gateways)
 	}
 	// Paper: low but mostly significant (mean .37). Shape: clearly below
 	// the in/out correlation, mostly positive.
-	inout := TabInOutCorrelation(e)
+	inout, err := TabInOutCorrelation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Mean >= inout.Mean {
 		t.Errorf("device-count corr (%.2f) should be well below in/out corr (%.2f)", r.Mean, inout.Mean)
 	}
@@ -169,7 +210,10 @@ func TestTabDeviceCountCorrelation(t *testing.T) {
 
 func TestFig03(t *testing.T) {
 	e := getEnv(t)
-	r := Fig03Clustering(e)
+	r, err := Fig03Clustering(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Gateways) == 0 || len(r.Clusters) == 0 {
 		t.Fatal("clustering degenerate")
 	}
@@ -189,7 +233,10 @@ func TestFig03(t *testing.T) {
 
 func TestFig04(t *testing.T) {
 	e := getEnv(t)
-	r := Fig04BackgroundTau(e)
+	r, err := Fig04BackgroundTau(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Devices < 100 {
 		t.Fatalf("devices = %d", r.Devices)
 	}
@@ -214,7 +261,10 @@ func TestFig04(t *testing.T) {
 
 func TestFig05AndAgreement(t *testing.T) {
 	e := getEnv(t)
-	r := Fig05DominantDevices(e)
+	r, err := Fig05DominantDevices(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Gateways == 0 {
 		t.Fatal("empty cohort")
 	}
@@ -233,7 +283,10 @@ func TestFig05AndAgreement(t *testing.T) {
 		t.Errorf("user stations are only %d of %d dominants", user, r.TotalDominants)
 	}
 
-	a := TabDominanceAgreement(e)
+	a, err := TabDominanceAgreement(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.TotalDominants != r.TotalDominants {
 		t.Errorf("dominant counts disagree: %d vs %d", a.TotalDominants, r.TotalDominants)
 	}
@@ -257,7 +310,10 @@ func TestFig05AndAgreement(t *testing.T) {
 
 func TestTabResidents(t *testing.T) {
 	e := getEnv(t)
-	r := TabResidentsCorrelation(e)
+	r, err := TabResidentsCorrelation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.SurveyHomes == 0 {
 		t.Fatal("no survey homes")
 	}
@@ -270,7 +326,7 @@ func TestTabResidents(t *testing.T) {
 
 func TestFig06Weekly(t *testing.T) {
 	e := getEnv(t)
-	r, err := Fig06WeeklyAggregation(e)
+	r, err := Fig06WeeklyAggregation(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +355,7 @@ func TestFig06Weekly(t *testing.T) {
 
 func TestFig07And08Daily(t *testing.T) {
 	e := getEnv(t)
-	r7, err := Fig07StationaryGateways(e)
+	r7, err := Fig07StationaryGateways(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +367,7 @@ func TestFig07And08Daily(t *testing.T) {
 		t.Errorf("stationary gateways should grow with granularity: %v", r7.Stationary)
 	}
 
-	r8, err := Fig08DailyAggregation(e)
+	r8, err := Fig08DailyAggregation(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +386,7 @@ func TestFig07And08Daily(t *testing.T) {
 
 func TestTabStationaryShare(t *testing.T) {
 	e := getEnv(t)
-	r, err := TabStationaryShare(e)
+	r, err := TabStationaryShare(context.Background(), e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +406,8 @@ func TestTabStationaryShare(t *testing.T) {
 
 func TestMotifPipelines(t *testing.T) {
 	e := getEnv(t)
-	weekly, err := MineWeeklyMotifs(e)
+	ctx := context.Background()
+	weekly, err := MineWeeklyMotifs(ctx, e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +417,7 @@ func TestMotifPipelines(t *testing.T) {
 	if len(weekly.Motifs) == 0 {
 		t.Fatal("no weekly motifs found")
 	}
-	daily, err := MineDailyMotifs(e)
+	daily, err := MineDailyMotifs(ctx, e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +458,10 @@ func TestMotifPipelines(t *testing.T) {
 	}
 
 	// Dominance analysis over the motifs of interest.
-	wDom := AnalyzeMotifDominance(e, weekly, wProfiles)
+	wDom, err := AnalyzeMotifDominance(ctx, e, weekly, wProfiles)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(wDom) != len(wProfiles) {
 		t.Fatalf("weekly dominance entries = %d", len(wDom))
 	}
@@ -411,7 +471,10 @@ func TestMotifPipelines(t *testing.T) {
 			t.Errorf("motif %d count dist sums to %.2f", d.MotifID, sum)
 		}
 	}
-	dDom := AnalyzeMotifDominance(e, daily, dProfiles)
+	dDom, err := AnalyzeMotifDominance(ctx, e, daily, dProfiles)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, d := range dDom {
 		if d.WorkdayShare+d.WeekendShare < 0.99 {
 			t.Errorf("motif %d day split = %.2f + %.2f", d.MotifID, d.WorkdayShare, d.WeekendShare)
@@ -435,7 +498,10 @@ func TestSupportQuantiles(t *testing.T) {
 
 func TestHeuristicValidation(t *testing.T) {
 	e := getEnv(t)
-	r := TabHeuristicValidation(e)
+	r, err := TabHeuristicValidation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Devices == 0 {
 		t.Fatal("no survey devices")
 	}
@@ -455,7 +521,10 @@ func TestHeuristicValidation(t *testing.T) {
 
 func TestSimilarityAblation(t *testing.T) {
 	e := getEnv(t)
-	r := TabSimilarityAblation(e)
+	r, err := TabSimilarityAblation(context.Background(), e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Gateways == 0 {
 		t.Fatal("empty cohort")
 	}
@@ -468,6 +537,18 @@ func TestSimilarityAblation(t *testing.T) {
 	}
 	if maxOf3 == 0 {
 		t.Fatal("no dominants at all")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	e := getEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig01TypicalGateway(ctx, e); err == nil {
+		t.Error("cancelled context should abort Fig01")
+	}
+	if _, err := TabInOutCorrelation(ctx, e); err == nil {
+		t.Error("cancelled context should abort TabInOutCorrelation")
 	}
 }
 

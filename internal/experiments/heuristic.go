@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"homesight/internal/devices"
@@ -41,12 +42,25 @@ func (r HeuristicResult) Precision() float64 {
 
 // TabHeuristicValidation checks the MAC/name classifier on the survey
 // subset, where ground truth is known.
-func TabHeuristicValidation(e *Env) HeuristicResult {
-	res := HeuristicResult{Confusion: make(map[devices.Type]map[devices.Type]int)}
-	for i := 0; i < e.SurveyHomes && i < e.Dep.NumHomes(); i++ {
+func TabHeuristicValidation(ctx context.Context, e *Env) (HeuristicResult, error) {
+	n := e.SurveyHomes
+	if nh := e.Dep.NumHomes(); n > nh {
+		n = nh
+	}
+	inventories := make([][]*devices.Device, n)
+	if err := e.forEach(ctx, n, func(i int) {
 		h := e.Home(i)
+		devs := make([]*devices.Device, 0, len(h.Devices))
 		for _, spec := range h.Devices {
-			d := spec.Device
+			devs = append(devs, &spec.Device)
+		}
+		inventories[i] = devs
+	}); err != nil {
+		return HeuristicResult{}, err
+	}
+	res := HeuristicResult{Confusion: make(map[devices.Type]map[devices.Type]int)}
+	for _, devs := range inventories {
+		for _, d := range devs {
 			res.Devices++
 			if res.Confusion[d.Truth] == nil {
 				res.Confusion[d.Truth] = make(map[devices.Type]int)
@@ -63,7 +77,7 @@ func TabHeuristicValidation(e *Env) HeuristicResult {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,32 +32,45 @@ type MotifSetResult struct {
 
 // MineWeeklyMotifs reproduces the weekly motif mining of Sec. 7.2.1:
 // 8h-at-2am windows over the six-week cohort, background removed.
-func MineWeeklyMotifs(e *Env) (MotifSetResult, error) {
+func MineWeeklyMotifs(ctx context.Context, e *Env) (MotifSetResult, error) {
 	ids, cohort := e.WeeklyCohort(e.WeeksWeeklyMotif)
-	return mineMotifs(e, "weekly", ids, cohort, aggregate.BestWeekly)
+	return mineMotifs(ctx, e, "weekly", ids, cohort, aggregate.BestWeekly)
 }
 
 // MineDailyMotifs reproduces the daily motif mining of Sec. 7.2.2:
 // 3h windows over the four-week daily cohort.
-func MineDailyMotifs(e *Env) (MotifSetResult, error) {
+func MineDailyMotifs(ctx context.Context, e *Env) (MotifSetResult, error) {
 	ids, cohort := e.DailyCohort()
-	return mineMotifs(e, "daily", ids, cohort, aggregate.BestDaily)
+	return mineMotifs(ctx, e, "daily", ids, cohort, aggregate.BestDaily)
 }
 
-func mineMotifs(e *Env, kind string, ids []string, cohort []*timeseries.Series, spec timeseries.WindowSpec) (MotifSetResult, error) {
+func mineMotifs(ctx context.Context, e *Env, kind string, ids []string, cohort []*timeseries.Series, spec timeseries.WindowSpec) (MotifSetResult, error) {
 	res := MotifSetResult{Kind: kind, Cohort: len(cohort)}
-	var instances []motif.Instance
-	for i, s := range cohort {
-		wins, err := spec.Windows(s)
+	// Window extraction fans out per cohort member; the mining pass below
+	// stays serial because the miner's output depends on instance order.
+	perMember := make([][]motif.Instance, len(cohort))
+	errs := make([]error, len(cohort))
+	if err := e.forEach(ctx, len(cohort), func(i int) {
+		wins, err := spec.Windows(cohort[i])
 		if err != nil {
-			return res, err
+			errs[i] = err
+			return
 		}
 		for _, w := range wins {
 			if !w.Observed() {
 				continue
 			}
-			instances = append(instances, motif.Instance{GatewayID: ids[i], Window: w})
+			perMember[i] = append(perMember[i], motif.Instance{GatewayID: ids[i], Window: w})
 		}
+	}); err != nil {
+		return res, err
+	}
+	var instances []motif.Instance
+	for i, wins := range perMember {
+		if errs[i] != nil {
+			return res, errs[i]
+		}
+		instances = append(instances, wins...)
 	}
 	res.Windows = len(instances)
 	res.Motifs = e.Framework.Miner().Mine(instances)
@@ -191,11 +205,12 @@ type MotifDominance struct {
 
 // AnalyzeMotifDominance evaluates the selected motifs member-by-member:
 // dominance inside the member's own time window versus the gateway's
-// overall dominants.
-func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []MotifDominance {
+// overall dominants. Gateways fan out in parallel; every per-member
+// statistic is an integer count, so the final shares are identical no
+// matter which worker finished first.
+func AnalyzeMotifDominance(ctx context.Context, e *Env, r MotifSetResult, profiles []MotifProfile) ([]MotifDominance, error) {
 	e.ensureGateways()
 	det := e.Framework.Detector()
-	days := e.WeeksMain * 7
 
 	byID := map[int]*motif.Motif{}
 	for _, m := range r.Motifs {
@@ -203,12 +218,19 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 	}
 
 	// Group all members of the selected motifs by gateway so each home is
-	// regenerated exactly once.
+	// regenerated exactly once. The group list is ordered by first
+	// appearance (profiles, then member order) — deterministic, unlike a
+	// map iteration.
 	type memberRef struct {
 		motifIdx int
 		inst     motif.Instance
 	}
-	byGateway := map[string][]memberRef{}
+	type gatewayRefs struct {
+		id   string
+		refs []memberRef
+	}
+	gwSlot := map[string]int{}
+	var groups []gatewayRefs
 	out := make([]MotifDominance, len(profiles))
 	for pi, p := range profiles {
 		out[pi] = MotifDominance{
@@ -220,7 +242,13 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 			continue
 		}
 		for _, inst := range m.Members {
-			byGateway[inst.GatewayID] = append(byGateway[inst.GatewayID], memberRef{pi, inst})
+			slot, ok := gwSlot[inst.GatewayID]
+			if !ok {
+				slot = len(groups)
+				gwSlot[inst.GatewayID] = slot
+				groups = append(groups, gatewayRefs{id: inst.GatewayID})
+			}
+			groups[slot].refs = append(groups[slot].refs, memberRef{pi, inst})
 		}
 	}
 
@@ -229,24 +257,30 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 		idToIndex[gc.id] = gc.index
 	}
 
-	members := make([]int, len(profiles))
-	workdays := make([]int, len(profiles))
-	for gwID, refs := range byGateway {
-		idx, ok := idToIndex[gwID]
+	// profPartial accumulates one gateway's contribution to one profile.
+	type profPartial struct {
+		members, workdays int
+		count, intersect  [4]int
+		types             map[devices.Type]int
+	}
+	partials := make([][]profPartial, len(groups))
+	if err := e.forEach(ctx, len(groups), func(g int) {
+		part := make([]profPartial, len(profiles))
+		partials[g] = part
+		idx, ok := idToIndex[groups[g].id]
 		if !ok {
-			continue
+			return
 		}
-		gw, devs := e.deviceSeriesForHome(idx, days)
-		overall := det.Detect(gw, devs)
+		overall := e.Dominance(idx)
 		overallMACs := map[string]bool{}
 		for _, sc := range overall.Dominants {
 			overallMACs[sc.Device.MAC] = true
 		}
 
 		h := e.Home(idx)
-		for _, ref := range refs {
-			res := &out[ref.motifIdx]
-			members[ref.motifIdx]++
+		for _, ref := range groups[g].refs {
+			p := &part[ref.motifIdx]
+			p.members++
 			w := ref.inst.Window
 			wEnd := w.Start.Add(timeseries.Day)
 			if r.Kind == "weekly" {
@@ -267,16 +301,40 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 				sim := det.Measure.Similarity(dw.vals.Values, gwWin.Values)
 				if sim > core.DominancePhi {
 					winDom++
-					res.TypeDist[dw.dev.Inferred]++
+					if p.types == nil {
+						p.types = make(map[devices.Type]int)
+					}
+					p.types[dw.dev.Inferred]++
 					if overallMACs[dw.dev.MAC] {
 						intersect++
 					}
 				}
 			}
-			res.CountDist[cap3(winDom)]++
-			res.IntersectDist[cap3(intersect)]++
+			p.count[cap3(winDom)]++
+			p.intersect[cap3(intersect)]++
 			if r.Kind == "daily" && !w.IsWeekend() {
-				workdays[ref.motifIdx]++
+				p.workdays++
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	members := make([]int, len(profiles))
+	workdays := make([]int, len(profiles))
+	counts := make([][4]int, len(profiles))
+	intersects := make([][4]int, len(profiles))
+	for _, part := range partials {
+		for pi := range part {
+			p := &part[pi]
+			members[pi] += p.members
+			workdays[pi] += p.workdays
+			for k := 0; k < 4; k++ {
+				counts[pi][k] += p.count[k]
+				intersects[pi][k] += p.intersect[k]
+			}
+			for typ, n := range p.types {
+				out[pi].TypeDist[typ] += float64(n)
 			}
 		}
 	}
@@ -287,8 +345,8 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 			continue
 		}
 		for k := range out[pi].CountDist {
-			out[pi].CountDist[k] /= n
-			out[pi].IntersectDist[k] /= n
+			out[pi].CountDist[k] = float64(counts[pi][k]) / n
+			out[pi].IntersectDist[k] = float64(intersects[pi][k]) / n
 		}
 		totalTypes := 0.0
 		for _, v := range out[pi].TypeDist {
@@ -304,7 +362,7 @@ func AnalyzeMotifDominance(e *Env, r MotifSetResult, profiles []MotifProfile) []
 			out[pi].WeekendShare = 1 - out[pi].WorkdayShare
 		}
 	}
-	return out
+	return out, nil
 }
 
 type deviceWindow struct {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,43 +51,71 @@ type Results struct {
 }
 
 // RunAll executes every experiment in order.
-func RunAll(e *Env) (Results, error) {
+func RunAll(ctx context.Context, e *Env) (Results, error) {
 	var r Results
 	var err error
-	r.Fig01 = Fig01TypicalGateway(e)
-	r.InOut = TabInOutCorrelation(e)
-	r.Fig02 = Fig02ACFCCF(e)
-	r.UnitRoot = TabStationarityTests(e)
-	r.DevCount = TabDeviceCountCorrelation(e)
-	r.Fig03 = Fig03Clustering(e)
-	r.Fig04 = Fig04BackgroundTau(e)
-	r.Heuristic = TabHeuristicValidation(e)
-	r.Fig05 = Fig05DominantDevices(e)
-	r.Agreement = TabDominanceAgreement(e)
-	r.Residents = TabResidentsCorrelation(e)
-	r.Ablation = TabSimilarityAblation(e)
-	if r.Fig06, err = Fig06WeeklyAggregation(e); err != nil {
+	if r.Fig01, err = Fig01TypicalGateway(ctx, e); err != nil {
 		return r, err
 	}
-	if r.Fig07, err = Fig07StationaryGateways(e); err != nil {
+	if r.InOut, err = TabInOutCorrelation(ctx, e); err != nil {
 		return r, err
 	}
-	if r.Fig08, err = Fig08DailyAggregation(e); err != nil {
+	if r.Fig02, err = Fig02ACFCCF(ctx, e); err != nil {
 		return r, err
 	}
-	if r.Share, err = TabStationaryShare(e); err != nil {
+	if r.UnitRoot, err = TabStationarityTests(ctx, e); err != nil {
 		return r, err
 	}
-	if r.Weekly, err = MineWeeklyMotifs(e); err != nil {
+	if r.DevCount, err = TabDeviceCountCorrelation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig03, err = Fig03Clustering(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig04, err = Fig04BackgroundTau(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Heuristic, err = TabHeuristicValidation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig05, err = Fig05DominantDevices(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Agreement, err = TabDominanceAgreement(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Residents, err = TabResidentsCorrelation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Ablation, err = TabSimilarityAblation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig06, err = Fig06WeeklyAggregation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig07, err = Fig07StationaryGateways(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Fig08, err = Fig08DailyAggregation(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Share, err = TabStationaryShare(ctx, e); err != nil {
+		return r, err
+	}
+	if r.Weekly, err = MineWeeklyMotifs(ctx, e); err != nil {
 		return r, err
 	}
 	r.WeeklyOfInterest = WeeklyMotifsOfInterest(r.Weekly)
-	r.WeeklyDominance = AnalyzeMotifDominance(e, r.Weekly, r.WeeklyOfInterest)
-	if r.Daily, err = MineDailyMotifs(e); err != nil {
+	if r.WeeklyDominance, err = AnalyzeMotifDominance(ctx, e, r.Weekly, r.WeeklyOfInterest); err != nil {
+		return r, err
+	}
+	if r.Daily, err = MineDailyMotifs(ctx, e); err != nil {
 		return r, err
 	}
 	r.DailyOfInterest = DailyMotifsOfInterest(r.Daily)
-	r.DailyDominance = AnalyzeMotifDominance(e, r.Daily, r.DailyOfInterest)
+	if r.DailyDominance, err = AnalyzeMotifDominance(ctx, e, r.Daily, r.DailyOfInterest); err != nil {
+		return r, err
+	}
 	return r, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -37,7 +38,10 @@ type Fig01Result struct {
 }
 
 // Fig01TypicalGateway analyzes the most-observed gateway's first week.
-func Fig01TypicalGateway(e *Env) Fig01Result {
+func Fig01TypicalGateway(ctx context.Context, e *Env) (Fig01Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Fig01Result{}, err
+	}
 	top := e.TopObservedGateways(10)
 	idx := top[0]
 	h := e.Home(idx)
@@ -63,7 +67,7 @@ func Fig01TypicalGateway(e *Env) Fig01Result {
 	}
 	hourly, _ := timeseries.New(h.Overall().Start, time.Minute, in).Aggregate(3 * time.Hour)
 	res.SeriesSpark = report.Sparkline(hourly.Values)
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -88,10 +92,15 @@ type InOutResult struct {
 }
 
 // TabInOutCorrelation computes corr(in, out) per gateway over week one.
-func TabInOutCorrelation(e *Env) InOutResult {
+func TabInOutCorrelation(ctx context.Context, e *Env) (InOutResult, error) {
 	n := 7 * 24 * 60
-	var coeffs []float64
-	for i := 0; i < e.Dep.NumHomes(); i++ {
+	type perHome struct {
+		coeff float64
+		ok    bool
+	}
+	nHomes := e.Dep.NumHomes()
+	per := make([]perHome, nHomes)
+	err := e.forEach(ctx, nHomes, func(i int) {
 		h := e.Home(i)
 		in := make([]float64, n)
 		out := make([]float64, n)
@@ -108,16 +117,25 @@ func TabInOutCorrelation(e *Env) InOutResult {
 		// mean, so this site deliberately bypasses Definition 1.
 		r, err := corr.Pearson(in, out) //homesight:rawcorr
 		if err != nil || math.IsNaN(r.Coeff) {
-			continue
+			return
 		}
-		coeffs = append(coeffs, r.Coeff)
+		per[i] = perHome{coeff: r.Coeff, ok: true}
+	})
+	if err != nil {
+		return InOutResult{}, err
+	}
+	var coeffs []float64
+	for _, p := range per {
+		if p.ok {
+			coeffs = append(coeffs, p.coeff)
+		}
 	}
 	return InOutResult{
 		Mean:     stats.Mean(coeffs),
 		Median:   stats.Median(coeffs),
 		StdDev:   stats.StdDev(coeffs),
 		Gateways: len(coeffs),
-	}
+	}, nil
 }
 
 // String renders the result.
@@ -146,31 +164,47 @@ type Fig02Result struct {
 }
 
 // Fig02ACFCCF computes ACF/CCF structure over the top observed gateways.
-func Fig02ACFCCF(e *Env) Fig02Result {
+func Fig02ACFCCF(ctx context.Context, e *Env) (Fig02Result, error) {
 	top := e.TopObservedGateways(10)
 	const maxLag = 96
 	res := Fig02Result{}
 	type prepped struct {
 		id   string
 		vals []float64
+		ok   bool
 	}
-	var ser []prepped
-	for _, idx := range top {
+	per := make([]prepped, len(top))
+	if err := e.forEach(ctx, len(top), func(k int) {
+		idx := top[k]
 		s := e.RawOverall(idx, 14).FillMissing(0)
 		agg, err := s.Aggregate(30 * time.Minute)
 		if err != nil {
-			continue
+			return
 		}
-		ser = append(ser, prepped{e.gateways[idx].id, agg.Values})
+		per[k] = prepped{id: e.gateways[idx].id, vals: agg.Values, ok: true}
+	}); err != nil {
+		return Fig02Result{}, err
+	}
+	var ser []prepped
+	for _, p := range per {
+		if p.ok {
+			ser = append(ser, p)
+		}
 	}
 	if len(ser) == 0 {
-		return res
+		return res, nil
 	}
 	res.SignificanceBound = corr.WhiteNoiseBound(len(ser[0].vals))
 
+	acfs := make([][]float64, len(ser))
+	if err := e.forEach(ctx, len(ser), func(k int) {
+		acfs[k] = corr.ACF(ser[k].vals, maxLag)
+	}); err != nil {
+		return Fig02Result{}, err
+	}
 	bestScore := -1.0
-	for _, p := range ser {
-		acf := corr.ACF(p.vals, maxLag)
+	for k, p := range ser {
+		acf := acfs[k]
 		score := 0.0
 		for _, v := range acf[1:] {
 			if math.Abs(v) > score {
@@ -205,7 +239,7 @@ func Fig02ACFCCF(e *Env) Fig02Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -250,19 +284,25 @@ type StationarityTestsResult struct {
 }
 
 // TabStationarityTests runs KPSS/ADF/KS over the top observed gateways.
-func TabStationarityTests(e *Env) StationarityTestsResult {
-	res := StationarityTestsResult{}
-	for _, idx := range e.TopObservedGateways(10) {
+func TabStationarityTests(ctx context.Context, e *Env) (StationarityTestsResult, error) {
+	top := e.TopObservedGateways(10)
+	type perGateway struct {
+		kpss, adf          bool
+		ksPairs, ksRejects int
+	}
+	per := make([]perGateway, len(top))
+	if err := e.forEach(ctx, len(top), func(k int) {
+		idx := top[k]
 		// The paper tests the raw one-minute series ("time series with
 		// current one minute binning are highly irregular, there are no
 		// stationary gateways").
 		s := e.RawOverall(idx, 28).FillMissing(0)
-		res.Gateways++
-		if k, err := tests.KPSS(s.Values, -1); err == nil && k.PValue < core.Alpha {
-			res.KPSSRejected++
+		p := &per[k]
+		if kp, err := tests.KPSS(s.Values, -1); err == nil && kp.PValue < core.Alpha {
+			p.kpss = true
 		}
 		if a, err := tests.ADF(s.Values, -1); err == nil && a.PValue > core.Alpha {
-			res.ADFUnitRootNotRejected++
+			p.adf = true
 		}
 		// Pairwise KS across the four weeks of minute values.
 		perWeek := 7 * 24 * 60
@@ -280,14 +320,27 @@ func TabStationarityTests(e *Env) StationarityTestsResult {
 				if err != nil {
 					continue
 				}
-				res.KSWeekPairs++
+				p.ksPairs++
 				if ks.Rejected(core.Alpha) {
-					res.KSWeekPairsRejected++
+					p.ksRejects++
 				}
 			}
 		}
+	}); err != nil {
+		return StationarityTestsResult{}, err
 	}
-	return res
+	res := StationarityTestsResult{Gateways: len(top)}
+	for _, p := range per {
+		if p.kpss {
+			res.KPSSRejected++
+		}
+		if p.adf {
+			res.ADFUnitRootNotRejected++
+		}
+		res.KSWeekPairs += p.ksPairs
+		res.KSWeekPairsRejected += p.ksRejects
+	}
+	return res, nil
 }
 
 // String renders the result.
@@ -311,10 +364,15 @@ type DeviceCountResult struct {
 }
 
 // TabDeviceCountCorrelation computes corr(traffic, #connected devices).
-func TabDeviceCountCorrelation(e *Env) DeviceCountResult {
-	var coeffs []float64
-	significant := 0
-	for i := 0; i < e.Dep.NumHomes(); i++ {
+func TabDeviceCountCorrelation(ctx context.Context, e *Env) (DeviceCountResult, error) {
+	type perHome struct {
+		coeff float64
+		sig   bool
+		ok    bool
+	}
+	nHomes := e.Dep.NumHomes()
+	per := make([]perHome, nHomes)
+	if err := e.forEach(ctx, nHomes, func(i int) {
 		h := e.Home(i)
 		const days = 7
 		overall := truncate(h.Overall(), days)
@@ -325,10 +383,20 @@ func TabDeviceCountCorrelation(e *Env) DeviceCountResult {
 			Detailed(overall.FillMissing(0).Values, counts.FillMissing(0).Values)
 		r := d.Spearman
 		if d.N < 3 || math.IsNaN(r.Coeff) {
+			return
+		}
+		per[i] = perHome{coeff: r.Coeff, sig: r.Significant(core.Alpha), ok: true}
+	}); err != nil {
+		return DeviceCountResult{}, err
+	}
+	var coeffs []float64
+	significant := 0
+	for _, p := range per {
+		if !p.ok {
 			continue
 		}
-		coeffs = append(coeffs, r.Coeff)
-		if r.Significant(core.Alpha) {
+		coeffs = append(coeffs, p.coeff)
+		if p.sig {
 			significant++
 		}
 	}
@@ -341,7 +409,7 @@ func TabDeviceCountCorrelation(e *Env) DeviceCountResult {
 	if len(coeffs) > 0 {
 		res.SignificantShare = float64(significant) / float64(len(coeffs))
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -363,25 +431,40 @@ type Fig03Result struct {
 }
 
 // Fig03Clustering clusters the top gateways' first-week traffic (3h bins).
-func Fig03Clustering(e *Env) Fig03Result {
+func Fig03Clustering(ctx context.Context, e *Env) (Fig03Result, error) {
 	top := e.TopObservedGateways(10)
 	res := Fig03Result{}
-	var series [][]float64
-	for _, idx := range top {
+	type prepped struct {
+		id   string
+		vals []float64
+		ok   bool
+	}
+	per := make([]prepped, len(top))
+	if err := e.forEach(ctx, len(top), func(k int) {
+		idx := top[k]
 		s := e.RawOverall(idx, 7).FillMissing(0)
 		agg, err := s.Aggregate(3 * time.Hour)
 		if err != nil {
+			return
+		}
+		per[k] = prepped{id: e.gateways[idx].id, vals: agg.Values, ok: true}
+	}); err != nil {
+		return Fig03Result{}, err
+	}
+	var series [][]float64
+	for _, p := range per {
+		if !p.ok {
 			continue
 		}
-		series = append(series, agg.Values)
-		res.Gateways = append(res.Gateways, e.gateways[idx].id)
+		series = append(series, p.vals)
+		res.Gateways = append(res.Gateways, p.id)
 	}
 	m := cluster.DistanceMatrix(len(series), func(i, j int) float64 {
 		return e.Framework.Distance(series[i], series[j])
 	})
 	dendro, err := cluster.Agglomerate(m, cluster.Average)
 	if err != nil {
-		return res
+		return res, nil
 	}
 	res.MergeHeights = dendro.Heights
 	for _, c := range dendro.Cut(0.4) {
@@ -391,7 +474,7 @@ func Fig03Clustering(e *Env) Fig03Result {
 		}
 		res.Clusters = append(res.Clusters, ids)
 	}
-	return res
+	return res, nil
 }
 
 // String renders the result.
@@ -422,46 +505,71 @@ type Fig04Result struct {
 }
 
 // Fig04BackgroundTau estimates τ for every active device over WeeksMain.
-func Fig04BackgroundTau(e *Env) Fig04Result {
+func Fig04BackgroundTau(ctx context.Context, e *Env) (Fig04Result, error) {
 	days := e.WeeksMain * 7
-	var tauIn, tauOut []float64
-	var small, medium, large int
-	var smallPortable, largeFixed int
-	res := Fig04Result{}
-	for i := 0; i < e.Dep.NumHomes(); i++ {
+	type perHome struct {
+		tauIn, tauOut        []float64
+		devices              int
+		largeIn, largeOut    int
+		small, medium, large int
+		smallPortable        int
+		largeFixed           int
+	}
+	nHomes := e.Dep.NumHomes()
+	per := make([]perHome, nHomes)
+	if err := e.forEach(ctx, nHomes, func(i int) {
 		h := e.Home(i)
-		for _, dt := range h.Traffic() {
+		p := &per[i]
+		for dev, dt := range h.Traffic() {
 			in := truncate(dt.In, days)
 			if in.ObservedCount() < 60 {
 				continue // barely-seen devices have no meaningful background
 			}
 			out := truncate(dt.Out, days)
-			th := background.EstimateThreshold(in, out)
-			res.Devices++
-			tauIn = append(tauIn, th.TauIn)
-			tauOut = append(tauOut, th.TauOut)
+			th := e.Threshold(i, dev, days, in, out)
+			p.devices++
+			p.tauIn = append(p.tauIn, th.TauIn)
+			p.tauOut = append(p.tauOut, th.TauOut)
 			if th.TauIn > background.LargeBytes {
-				res.LargeIn++
+				p.largeIn++
 			}
 			if th.TauOut > background.LargeBytes {
-				res.LargeOut++
+				p.largeOut++
 			}
 			truth := dt.Spec.Device.Truth
 			switch background.GroupOf(math.Max(th.TauIn, th.TauOut)) {
 			case background.Small:
-				small++
+				p.small++
 				if truth == devices.Portable {
-					smallPortable++
+					p.smallPortable++
 				}
 			case background.Medium:
-				medium++
+				p.medium++
 			case background.Large:
-				large++
+				p.large++
 				if truth == devices.Fixed {
-					largeFixed++
+					p.largeFixed++
 				}
 			}
 		}
+	}); err != nil {
+		return Fig04Result{}, err
+	}
+	var tauIn, tauOut []float64
+	var small, medium, large int
+	var smallPortable, largeFixed int
+	res := Fig04Result{}
+	for _, p := range per {
+		res.Devices += p.devices
+		tauIn = append(tauIn, p.tauIn...)
+		tauOut = append(tauOut, p.tauOut...)
+		res.LargeIn += p.largeIn
+		res.LargeOut += p.largeOut
+		small += p.small
+		medium += p.medium
+		large += p.large
+		smallPortable += p.smallPortable
+		largeFixed += p.largeFixed
 	}
 	if res.Devices > 0 {
 		res.SmallShare = float64(small) / float64(res.Devices)
@@ -476,7 +584,7 @@ func Fig04BackgroundTau(e *Env) Fig04Result {
 	}
 	res.TauInHist = stats.NewHistogram(tauIn, 0, 60000, 12)
 	res.TauOutHist = stats.NewHistogram(tauOut, 0, 60000, 12)
-	return res
+	return res, nil
 }
 
 // String renders the result.

@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"homesight/internal/experiments"
+	"homesight/internal/telemetry"
+)
+
+// Engine executes experiments on a bounded worker pool. The zero value runs
+// sequentially with no timeout.
+type Engine struct {
+	// Parallelism is the worker count; values < 1 mean 1.
+	Parallelism int
+	// Timeout bounds each experiment's Run; 0 means no per-experiment
+	// deadline (the outer ctx still applies).
+	Timeout time.Duration
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID       string
+	Result   Result
+	Err      error
+	Duration time.Duration
+}
+
+// Run executes the experiments and returns their reports in input order —
+// workers write only their own indexed slot, so scheduling never reorders
+// or interleaves output. The returned error joins every per-experiment
+// failure (nil when all succeeded); reports are complete either way. env
+// may be nil for experiments that don't need one (tests); when set, its
+// cache counters are attached to the metrics.
+func (g *Engine) Run(ctx context.Context, env *experiments.Env, exps []Experiment) ([]Report, telemetry.RunMetrics, error) {
+	start := time.Now()
+	n := len(exps)
+	reports := make([]Report, n)
+
+	p := g.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+
+	// Sample the goroutine high-water mark while the pool runs. The sampler
+	// is joined before metrics are read, so the measurement is race-free.
+	var highWater atomic.Int64
+	highWater.Store(int64(runtime.NumGoroutine()))
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if now := int64(runtime.NumGoroutine()); now > highWater.Load() {
+					highWater.Store(now)
+				}
+			}
+		}
+	}()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				x := exps[i]
+				t0 := time.Now()
+				res, err := g.runOne(ctx, env, x)
+				reports[i] = Report{ID: x.ID(), Result: res, Err: err, Duration: time.Since(t0)}
+			}
+		}()
+	}
+	sent := 0
+dispatch:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+			sent++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	// Experiments never dispatched (cancelled mid-run) still get a report,
+	// so callers can tell skipped from succeeded.
+	for i := sent; i < n; i++ {
+		reports[i] = Report{ID: exps[i].ID(), Err: ctx.Err()}
+	}
+
+	m := telemetry.RunMetrics{
+		Parallelism:        p,
+		WallSeconds:        time.Since(start).Seconds(),
+		GoroutineHighWater: int(highWater.Load()),
+	}
+	var errs []error
+	for _, rep := range reports {
+		em := telemetry.ExperimentMetrics{ID: rep.ID, Seconds: rep.Duration.Seconds()}
+		if rep.Err != nil {
+			em.Err = rep.Err.Error()
+			errs = append(errs, fmt.Errorf("%s: %w", rep.ID, rep.Err))
+		}
+		m.Experiments = append(m.Experiments, em)
+	}
+	if env != nil {
+		m.Caches = env.CacheStats()
+	}
+	return reports, m, errors.Join(errs...)
+}
+
+// runOne executes one experiment under the per-experiment deadline with
+// panic containment: a panicking experiment fails its own report instead of
+// tearing down the whole run.
+func (g *Engine) runOne(ctx context.Context, env *experiments.Env, x Experiment) (res Result, err error) {
+	if g.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: experiment %s panicked: %v", x.ID(), p)
+		}
+	}()
+	return x.Run(ctx, env)
+}

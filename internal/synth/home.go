@@ -44,6 +44,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration describes a runnable
+// deployment. Zero fields are legal — withDefaults fills them — but
+// negative counts would otherwise surface as slice-allocation panics
+// deep inside an experiment run, so callers (experiments.NewEnv in
+// particular) reject them up front.
+func (c Config) Validate() error {
+	if c.Homes < 0 {
+		return fmt.Errorf("synth: config has %d homes; want >= 1 (or 0 for the default)", c.Homes)
+	}
+	if c.Weeks < 0 {
+		return fmt.Errorf("synth: config has %d weeks; want >= 1 (or 0 for the default)", c.Weeks)
+	}
+	return nil
+}
+
 // withDefaults fills zero fields from DefaultConfig.
 func (c Config) withDefaults() Config {
 	def := DefaultConfig()

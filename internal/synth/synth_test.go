@@ -324,3 +324,18 @@ func TestHeavyBackgroundTail(t *testing.T) {
 		t.Errorf("heavy-background share = %.3f, want ~0.01-0.02", frac)
 	}
 }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config should validate (defaults apply): %v", err)
+	}
+	if err := (Config{Homes: 10, Weeks: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{Homes: -1}).Validate(); err == nil {
+		t.Error("negative homes accepted")
+	}
+	if err := (Config{Weeks: -3}).Validate(); err == nil {
+		t.Error("negative weeks accepted")
+	}
+}

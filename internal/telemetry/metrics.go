@@ -1,0 +1,140 @@
+// Run metrics for the parallel experiment engine: race-safe cache
+// hit/miss counters plus the structured per-run report (wall time,
+// per-experiment durations, goroutine high-water mark) that
+// cmd/experiments emits via the -metrics flag. The report deliberately
+// lives next to the collection pipeline: both describe "what did this
+// deployment cost", one on the wire, one in the process.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheCounter counts hits and misses of one named cache. All methods are
+// safe for concurrent use.
+type CacheCounter struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Hit records a lookup served from the cache.
+func (c *CacheCounter) Hit() { c.hits.Add(1) }
+
+// Miss records a lookup that had to build its value.
+func (c *CacheCounter) Miss() { c.misses.Add(1) }
+
+// Snapshot returns the current counts.
+func (c *CacheCounter) Snapshot() CacheSnapshot {
+	return CacheSnapshot{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// CacheSnapshot is a point-in-time view of one cache's counters.
+type CacheSnapshot struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Lookups is the total number of lookups observed.
+func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate is the fraction of lookups served from the cache (0 when the
+// cache was never consulted).
+func (s CacheSnapshot) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// CacheStats is a registry of named cache counters. Counters are created
+// on first use and live for the lifetime of the registry.
+type CacheStats struct {
+	mu       sync.Mutex
+	counters map[string]*CacheCounter
+}
+
+// NewCacheStats returns an empty registry.
+func NewCacheStats() *CacheStats {
+	return &CacheStats{counters: make(map[string]*CacheCounter)}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. The returned counter is shared: callers must not assume
+// exclusive ownership.
+func (s *CacheStats) Counter(name string) *CacheCounter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &CacheCounter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current counts of every registered counter.
+func (s *CacheStats) Snapshot() map[string]CacheSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]CacheSnapshot, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Snapshot()
+	}
+	return out
+}
+
+// ExperimentMetrics is the per-experiment slice of a run report.
+type ExperimentMetrics struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// RunMetrics is the structured report of one engine run. Timings live
+// here rather than in the experiment output so that stdout stays
+// byte-identical across parallelism levels.
+type RunMetrics struct {
+	Parallelism        int                      `json:"parallelism"`
+	WallSeconds        float64                  `json:"wall_seconds"`
+	GoroutineHighWater int                      `json:"goroutine_high_water"`
+	Experiments        []ExperimentMetrics      `json:"experiments"`
+	Caches             map[string]CacheSnapshot `json:"caches,omitempty"`
+}
+
+// CacheHitRate is the aggregate hit rate across every cache in the run
+// (0 when no cache was consulted).
+func (m RunMetrics) CacheHitRate() float64 {
+	var hits, lookups int64
+	for _, s := range m.Caches {
+		hits += s.Hits
+		lookups += s.Lookups()
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// WriteJSON writes the report as indented JSON. Go's encoder already
+// emits map keys in sorted order, so the output is deterministic.
+func (m RunMetrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// CacheNames returns the sorted names of the report's caches; handy for
+// stable human-readable summaries.
+func (m RunMetrics) CacheNames() []string {
+	names := make([]string, 0, len(m.Caches))
+	for name := range m.Caches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCacheCounterConcurrent(t *testing.T) {
+	stats := NewCacheStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := stats.Counter("shared")
+			for i := 0; i < 100; i++ {
+				c.Hit()
+			}
+			c.Miss()
+		}()
+	}
+	wg.Wait()
+	snap := stats.Snapshot()["shared"]
+	if snap.Hits != 800 || snap.Misses != 8 {
+		t.Fatalf("snapshot = %+v, want 800 hits / 8 misses", snap)
+	}
+	if snap.Lookups() != 808 {
+		t.Fatalf("Lookups() = %d, want 808", snap.Lookups())
+	}
+	want := 800.0 / 808.0
+	if math.Abs(snap.HitRate()-want) > 1e-12 {
+		t.Fatalf("HitRate() = %g, want %g", snap.HitRate(), want)
+	}
+}
+
+func TestCacheSnapshotEmpty(t *testing.T) {
+	var s CacheSnapshot
+	if s.HitRate() != 0 {
+		t.Fatalf("empty HitRate() = %g, want 0", s.HitRate())
+	}
+}
+
+func TestRunMetricsWriteJSON(t *testing.T) {
+	m := RunMetrics{
+		Parallelism:        4,
+		WallSeconds:        1.5,
+		GoroutineHighWater: 9,
+		Experiments: []ExperimentMetrics{
+			{ID: "fig1", Seconds: 0.25},
+			{ID: "fig2", Seconds: 0.5, Err: "boom"},
+		},
+		Caches: map[string]CacheSnapshot{
+			"device-series": {Hits: 3, Misses: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back RunMetrics
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.Parallelism != 4 || back.GoroutineHighWater != 9 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	if len(back.Experiments) != 2 || back.Experiments[1].Err != "boom" {
+		t.Fatalf("experiments round-trip = %+v", back.Experiments)
+	}
+	if back.Caches["device-series"].Misses != 1 {
+		t.Fatalf("caches round-trip = %+v", back.Caches)
+	}
+	if got := m.CacheNames(); len(got) != 1 || got[0] != "device-series" {
+		t.Fatalf("CacheNames() = %v", got)
+	}
+	want := 3.0 / 4.0
+	if math.Abs(m.CacheHitRate()-want) > 1e-12 {
+		t.Fatalf("CacheHitRate() = %g, want %g", m.CacheHitRate(), want)
+	}
+}

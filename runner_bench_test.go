@@ -1,0 +1,146 @@
+package homesight
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"homesight/internal/experiments"
+	"homesight/internal/runner"
+	"homesight/internal/telemetry"
+)
+
+// runSuite executes the full standard suite on a fresh scaled-down Env
+// (16 homes, 2 weeks) at the given parallelism and returns the concatenated
+// rendered reports plus the run metrics. A fresh Env per call keeps the
+// cache counters comparable between runs.
+func runSuite(tb testing.TB, parallelism int) (string, telemetry.RunMetrics) {
+	tb.Helper()
+	e, err := experiments.NewEnv(
+		experiments.WithHomes(16), experiments.WithWeeks(2),
+		experiments.WithParallelism(parallelism))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var res experiments.Results
+	eng := runner.Engine{Parallelism: parallelism}
+	reports, m, err := eng.Run(context.Background(), e, runner.StandardExperiments(&res))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var b strings.Builder
+	for _, rep := range reports {
+		b.WriteString("=== " + rep.ID + "\n")
+		b.WriteString(rep.Result.Text)
+	}
+	return b.String(), m
+}
+
+// TestRunnerDeterminism is the engine's headline guarantee: the parallel
+// run's output is byte-identical to the sequential one.
+func TestRunnerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite comparison is slow")
+	}
+	seq, _ := runSuite(t, 1)
+	par, _ := runSuite(t, 4)
+	if seq != par {
+		d := firstDiff(seq, par)
+		t.Fatalf("parallel output diverges from sequential at byte %d: %q vs %q",
+			d, clip(seq, d), clip(par, d))
+	}
+	if seq == "" {
+		t.Fatal("empty suite output")
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func clip(s string, at int) string {
+	end := at + 40
+	if end > len(s) {
+		end = len(s)
+	}
+	if at > len(s) {
+		at = len(s)
+	}
+	return s[at:end]
+}
+
+func BenchmarkRunnerSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, m := runSuite(b, 1)
+		b.ReportMetric(m.CacheHitRate(), "cache-hit-rate")
+	}
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, m := runSuite(b, 4)
+		b.ReportMetric(m.CacheHitRate(), "cache-hit-rate")
+	}
+}
+
+// TestBenchRunnerJSON writes BENCH_runner.json (ns/op and cache hit rate of
+// one full-suite run per parallelism) when HOMESIGHT_BENCH_JSON is set —
+// the `make bench` artifact.
+func TestBenchRunnerJSON(t *testing.T) {
+	path := os.Getenv("HOMESIGHT_BENCH_JSON")
+	if path == "" {
+		t.Skip("set HOMESIGHT_BENCH_JSON=BENCH_runner.json to write the bench artifact")
+	}
+	type entry struct {
+		Name         string  `json:"name"`
+		Parallelism  int     `json:"parallelism"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		Goroutines   int     `json:"goroutine_high_water"`
+	}
+	var entries []entry
+	for _, p := range []int{1, 4} {
+		name := "RunnerSequential"
+		if p > 1 {
+			name = "RunnerParallel"
+		}
+		_, m := runSuite(t, p)
+		entries = append(entries, entry{
+			Name:         name,
+			Parallelism:  p,
+			NsPerOp:      m.WallSeconds * 1e9,
+			CacheHitRate: m.CacheHitRate(),
+			Goroutines:   m.GoroutineHighWater,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := writeBenchJSON(f, entries); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeBenchJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
