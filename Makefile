@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-build check
+.PHONY: build test race vet lint bench bench-build test-faults check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -14,8 +14,11 @@ race: ## full test suite under the race detector
 vet: ## stock go vet
 	$(GO) vet ./...
 
-lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha)
+lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha, zero-sentinel)
 	$(GO) run ./cmd/homesight-vet ./...
+
+test-faults: ## deterministic fault-injection suite for the collection pipeline, under -race
+	$(GO) test -race -run 'TestFault' -count=1 ./internal/telemetry/...
 
 bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit rate)
 	HOMESIGHT_BENCH_JSON=BENCH_runner.json $(GO) test -run TestBenchRunnerJSON -count=1 .
@@ -24,5 +27,5 @@ bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit r
 bench-build: ## compile the benchmark harness without running it (check smoke)
 	$(GO) test -c -o /dev/null .
 
-check: vet race lint bench-build ## the full CI gate: vet + race tests + homesight-vet + bench smoke
+check: vet race lint test-faults bench-build ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke
 	@echo "check: all gates passed"

@@ -36,6 +36,11 @@ func main() {
 	homes := flag.Int("homes", 5, "demo: number of gateways")
 	weeks := flag.Int("weeks", 1, "demo: campaign length")
 	seed := flag.Int64("seed", 0, "demo: master seed")
+	readTimeout := flag.Duration("read-timeout", telemetry.DefaultReadTimeout,
+		"per-connection read deadline (negative disables)")
+	queue := flag.Int("queue", telemetry.DefaultQueueSize,
+		"ingest queue bound (full queue backpressures the sockets)")
+	metricsPath := flag.String("metrics", "", "demo: write ingest accounting as JSON to this file")
 	flag.Parse()
 
 	cfg := synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed}
@@ -46,7 +51,10 @@ func main() {
 	streaming := &telemetry.StreamingMotifs{}
 	store.OnReport(streaming.Feed)
 
-	col, err := telemetry.NewCollector(*addr, store)
+	col, err := telemetry.NewCollectorConfig(*addr, store, telemetry.CollectorConfig{
+		ReadTimeout: *readTimeout,
+		QueueSize:   *queue,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,9 +66,20 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
+		st := col.Stats()
 		log.Printf("shutting down; gateways seen: %v", store.GatewayIDs())
+		log.Printf("ingest: %d reports, %d lines dropped, %d rejected, %d errors shed",
+			st.ReportsIngested, st.LinesDropped, st.IngestErrors, st.ErrorsShed)
 		return
 	}
+
+	// Drain the error channel so per-line drop reports reach the log
+	// instead of being shed once the channel fills.
+	go func() {
+		for err := range col.Errs {
+			log.Printf("ingest: %v", err)
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for i := 0; i < dep.NumHomes(); i++ {
@@ -87,6 +106,15 @@ func main() {
 	}
 	streaming.Flush()
 
+	stats := col.Stats()
+	fmt.Printf("ingest: %d reports, %d lines dropped, %d rejected, %d errors shed, %d conns\n",
+		stats.ReportsIngested, stats.LinesDropped, stats.IngestErrors, stats.ErrorsShed, stats.ConnsOpened)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	fmt.Println("gateway totals (reconstructed from counter reports):")
 	for _, id := range store.GatewayIDs() {
 		rec := store.Recorder(id)
@@ -104,11 +132,28 @@ func main() {
 	}
 }
 
+// writeMetrics emits the run's ingest accounting in the RunMetrics
+// schema shared with cmd/experiments.
+func writeMetrics(path string, stats telemetry.IngestStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	m := telemetry.RunMetrics{Ingest: &stats}
+	if err := m.WriteJSON(f); err != nil {
+		_ = f.Close() // write error wins
+		return err
+	}
+	return f.Close()
+}
+
 // replayHome streams one home's full campaign through a TCP reporter.
 func replayHome(addr string, dep *synth.Deployment, i int) error {
 	h := dep.Home(i)
 	traffic := h.Traffic()
-	rep, err := telemetry.Dial(addr)
+	// Each gateway gets its own jitter seed so a fleet-wide collector
+	// outage does not produce lockstep reconnect storms.
+	rep, err := telemetry.DialConfig(addr, telemetry.ReporterConfig{Seed: int64(i) + 1})
 	if err != nil {
 		return err
 	}

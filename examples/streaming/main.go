@@ -51,6 +51,10 @@ func main() {
 	waitForDrain(store, dep.NumHomes())
 	streaming.Flush()
 
+	st := col.Stats()
+	log.Printf("ingest: %d reports accepted, %d lines dropped, %d rejected",
+		st.ReportsIngested, st.LinesDropped, st.IngestErrors)
+
 	motifs := streaming.Motifs()
 	fmt.Printf("\nstreaming stage discovered %d recurring daily patterns:\n", len(motifs))
 	for _, m := range motifs {
@@ -64,7 +68,9 @@ func main() {
 func stream(addr string, dep *synth.Deployment, i int) error {
 	h := dep.Home(i)
 	traffic := h.Traffic()
-	rep, err := telemetry.Dial(addr)
+	// Per-gateway jitter seeds decorrelate reconnect backoff across the
+	// fleet.
+	rep, err := telemetry.DialConfig(addr, telemetry.ReporterConfig{Seed: int64(i) + 1})
 	if err != nil {
 		return err
 	}

@@ -93,6 +93,7 @@ func All() []*Analyzer {
 		DroppedErr,
 		NakedGoroutine,
 		BareAlpha,
+		ZeroSentinel,
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules

@@ -1,0 +1,56 @@
+// Package fixture exercises the zero-sentinel rule: comparing a float
+// struct field against 0 to substitute a default makes a literal 0
+// inexpressible; integer fields and local variables are exempt.
+package fixture
+
+const defaultTau = 5000.0
+
+type config struct {
+	Tau      float64
+	Cutoff   float32
+	Queue    int
+	Attempts int64
+}
+
+func (c config) tau() float64 {
+	if c.Tau == 0 { // want `zero-value sentinel on float field Tau`
+		return defaultTau
+	}
+	return c.Tau
+}
+
+func (c config) reversed() bool {
+	return 0 == c.Cutoff // want `zero-value sentinel on float field Cutoff`
+}
+
+func intFieldsAllowed(c config) int64 {
+	// For counts and sizes zero genuinely means unset: no finding.
+	if c.Queue == 0 {
+		c.Queue = 256
+	}
+	if c.Attempts == 0 {
+		c.Attempts = 6
+	}
+	return c.Attempts
+}
+
+func localsAllowed(tau float64) float64 {
+	// A local variable is not configuration surface: no finding.
+	if tau == 0 {
+		return defaultTau
+	}
+	return tau
+}
+
+func nonZeroAllowed(c config) bool {
+	// Comparing against a non-zero constant is an explicit sentinel,
+	// which is the suggested fix: no finding.
+	return c.Tau == -1
+}
+
+func annotated(c config) float64 {
+	if c.Tau == 0 { //homesight:ignore zero-sentinel — zero is documented as "use the default"
+		return defaultTau
+	}
+	return c.Tau
+}

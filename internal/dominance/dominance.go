@@ -68,7 +68,7 @@ type Detector struct {
 var Default = Detector{}
 
 func (d Detector) phi() float64 {
-	if d.Phi == 0 {
+	if d.Phi == 0 { //homesight:ignore zero-sentinel — a dominance share of 0 is vacuous; zero safely means "default"
 		return DefaultPhi
 	}
 	return d.Phi

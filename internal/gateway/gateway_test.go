@@ -234,6 +234,114 @@ func TestPipelineFromSynth(t *testing.T) {
 	}
 }
 
+func TestMeterRegressionReadsAsWrap(t *testing.T) {
+	// A meter cannot distinguish a counter regression (gateway reboot,
+	// re-ordered report slipping past the recorder) from a genuine 32-bit
+	// wrap: differencing is modular. This test pins that a regression is
+	// read as a wrap — the reason duplicate and out-of-order reports MUST
+	// be rejected before they reach the meters.
+	var m Meter
+	m.Delta(1000)
+	d, ok := m.Delta(900)
+	if !ok || d != counterModulus-100 {
+		t.Errorf("regressed counter delta = %d/%v, want %d (interpreted as wrap)",
+			d, ok, counterModulus-100)
+	}
+}
+
+func TestRecorderRejectsDuplicateTimestamp(t *testing.T) {
+	// A duplicate report (same timestamp twice — a reporter replaying its
+	// resend tail after a reconnect) must be rejected WITHOUT touching the
+	// meters: the next in-order report still yields the correct delta.
+	e := NewEmitter("gw000")
+	r := NewRecorder(mon, time.Minute)
+	rep0 := e.Emit(mon, []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	rep1 := e.Emit(mon.Add(time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	rep2 := e.Emit(mon.Add(2*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	if err := r.Ingest(rep0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(rep1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(rep1); err == nil {
+		t.Fatal("duplicate report should be rejected")
+	}
+	if err := r.Ingest(rep2); err != nil {
+		t.Fatal(err)
+	}
+	in, out := r.Series("m1", 3)
+	for m := 1; m < 3; m++ {
+		if in.Values[m] != 100 || out.Values[m] != 10 {
+			t.Errorf("minute %d = %g/%g, want 100/10 (duplicate must not disturb meter state)",
+				m, in.Values[m], out.Values[m])
+		}
+	}
+}
+
+func TestRecorderRejectionPreservesMeterState(t *testing.T) {
+	// A timestamp regression is rejected before any device is metered, so
+	// the delta across the rejected report stays exact even though the
+	// regressed report carried older counter values.
+	e := NewEmitter("gw000")
+	r := NewRecorder(mon, time.Minute)
+	rep0 := e.Emit(mon.Add(time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	rep1 := e.Emit(mon.Add(2*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	rep2 := e.Emit(mon.Add(3*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	if err := r.Ingest(rep0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(rep1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(rep0); err == nil { // regression: an old report again
+		t.Fatal("regressed report should be rejected")
+	}
+	if err := r.Ingest(rep2); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := r.Series("m1", 4)
+	if in.Values[2] != 100 || in.Values[3] != 100 {
+		t.Errorf("deltas after rejection = %g/%g, want 100/100", in.Values[2], in.Values[3])
+	}
+}
+
+func TestRecorderGapResetsMeters(t *testing.T) {
+	// A reporting gap makes the accumulated bytes unattributable: the
+	// minute after the gap re-initializes the meter (NaN) instead of
+	// attributing the whole gap's volume to one minute. This pins the
+	// gap-vs-wrap boundary: consecutive reports difference through wraps,
+	// gapped reports reset.
+	e := NewEmitter("gw000")
+	r := NewRecorder(mon, time.Minute)
+	feed := func(minute int) {
+		rep := e.Emit(mon.Add(time.Duration(minute)*time.Minute),
+			[]DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+		if err := r.Ingest(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(0)
+	feed(1)
+	// Minutes 2-4 never reported (the emitter still accumulates, as a real
+	// device keeps moving bytes while reports are lost).
+	e.Emit(mon.Add(2*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	e.Emit(mon.Add(3*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	e.Emit(mon.Add(4*time.Minute), []DeviceMinute{{MAC: "m1", InBytes: 100, OutBytes: 10}})
+	feed(5)
+	feed(6)
+	in, _ := r.Series("m1", 7)
+	if in.Values[1] != 100 {
+		t.Errorf("pre-gap delta = %g, want 100", in.Values[1])
+	}
+	if !math.IsNaN(in.Values[5]) {
+		t.Errorf("first post-gap minute = %g, want NaN (meter reset)", in.Values[5])
+	}
+	if in.Values[6] != 100 {
+		t.Errorf("second post-gap delta = %g, want 100", in.Values[6])
+	}
+}
+
 func TestMeterDeltaRoundtripQuick(t *testing.T) {
 	// For any sequence of per-minute volumes below 2^32, differencing the
 	// cumulative wrapped counter recovers the volumes exactly.

@@ -130,7 +130,7 @@ type Miner struct {
 var Default = Miner{}
 
 func (mn Miner) phi() float64 {
-	if mn.Phi == 0 {
+	if mn.Phi == 0 { //homesight:ignore zero-sentinel — a φ of exactly 0 would admit every pair; zero safely means "default"
 		return DefaultPhi
 	}
 	return mn.Phi
@@ -145,7 +145,7 @@ func (mn Miner) groupThreshold() float64 {
 }
 
 func (mn Miner) mergeThreshold() float64 {
-	if mn.MergeThreshold == 0 {
+	if mn.MergeThreshold == 0 { //homesight:ignore zero-sentinel — a merge bound of 0 would collapse all motifs; zero safely means "default"
 		return DefaultMergeThreshold
 	}
 	return mn.MergeThreshold

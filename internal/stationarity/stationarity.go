@@ -34,14 +34,14 @@ type Checker struct {
 var Default = Checker{}
 
 func (c Checker) corrThreshold() float64 {
-	if c.CorrThreshold == 0 {
+	if c.CorrThreshold == 0 { //homesight:ignore zero-sentinel — a similarity bound of 0 accepts any pair; zero safely means "default"
 		return DefaultCorrThreshold
 	}
 	return c.CorrThreshold
 }
 
 func (c Checker) alpha() float64 {
-	if c.Alpha == 0 {
+	if c.Alpha == 0 { //homesight:ignore zero-sentinel — α = 0 rejects nothing and is never a real level; zero safely means "default"
 		return corrsim.DefaultAlpha
 	}
 	return c.Alpha

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"homesight/internal/gateway"
+)
+
+func TestCollectorConfigDefaults(t *testing.T) {
+	got := CollectorConfig{}.withDefaults()
+	want := CollectorConfig{
+		ReadTimeout:  DefaultReadTimeout,
+		QueueSize:    DefaultQueueSize,
+		MaxLineBytes: DefaultMaxLineBytes,
+		MaxConnDrops: DefaultMaxConnDrops,
+	}
+	if got != want {
+		t.Errorf("withDefaults() = %+v, want %+v", got, want)
+	}
+	// Negative ReadTimeout means "no deadline" and must survive.
+	if got := (CollectorConfig{ReadTimeout: -1}).withDefaults(); got.ReadTimeout != -1 {
+		t.Errorf("negative ReadTimeout rewritten to %v", got.ReadTimeout)
+	}
+}
+
+// TestCollectorStatsEndToEnd reconciles the ingest counters against a
+// known mixed workload: good reports, a malformed line and a pre-anchor
+// report.
+func TestCollectorStatsEndToEnd(t *testing.T) {
+	store := NewStore(mon, time.Minute)
+	col, err := NewCollector("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := gateway.NewEmitter("gwS")
+	const minutes = 10
+	for m := 0; m < minutes; m++ {
+		line := gatewayJSONLine(t, em.Emit(mon.Add(time.Duration(m)*time.Minute),
+			[]gateway.DeviceMinute{{MAC: "m1", InBytes: 50, OutBytes: 5}}))
+		if _, err := conn.Write(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write([]byte("{not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Well-formed but rejected by the store: predates the anchor.
+	bad := gatewayJSONLine(t, gateway.Report{GatewayID: "gwS", Timestamp: mon.Add(-time.Hour)})
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Stats().ActiveConns != 0 || col.Stats().ConnsOpened == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.ReportsIngested != minutes {
+		t.Errorf("ReportsIngested = %d, want %d", st.ReportsIngested, minutes)
+	}
+	if st.LinesDropped != 1 {
+		t.Errorf("LinesDropped = %d, want 1", st.LinesDropped)
+	}
+	if st.IngestErrors != 1 {
+		t.Errorf("IngestErrors = %d, want 1", st.IngestErrors)
+	}
+	if st.ConnsOpened != 1 || st.ActiveConns != 0 {
+		t.Errorf("conn accounting = %+v", st)
+	}
+	// Both errors fit in the channel: nothing shed, both receivable.
+	if st.ErrorsShed != 0 {
+		t.Errorf("ErrorsShed = %d, want 0", st.ErrorsShed)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-col.Errs:
+		default:
+			t.Fatalf("error %d missing from Errs", i)
+		}
+	}
+}
+
+// TestCollectorBackpressure pins the bounded-queue contract: while the
+// ingest worker is blocked (a slow OnReport consumer), reports pile up in
+// the queue and the sockets, and none are counted ingested; releasing the
+// consumer drains everything without loss.
+func TestCollectorBackpressure(t *testing.T) {
+	store := NewStore(mon, time.Minute)
+	gate := make(chan struct{})
+	var once sync.Once
+	entered := make(chan struct{})
+	store.OnReport(func(gateway.Report) {
+		once.Do(func() { close(entered) })
+		<-gate
+	})
+	col, err := NewCollectorConfig("127.0.0.1:0", store, CollectorConfig{QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Dial(col.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := gateway.NewEmitter("gwBP")
+	const minutes = 50
+	for m := 0; m < minutes; m++ {
+		r := em.Emit(mon.Add(time.Duration(m)*time.Minute), []gateway.DeviceMinute{{MAC: "m1", InBytes: 10, OutBytes: 1}})
+		if err := rep.Send(r); err != nil {
+			t.Fatalf("send %d: %v", m, err)
+		}
+	}
+	<-entered // the worker is inside the blocked callback
+	// The first report's ingestion has not completed, so nothing may be
+	// counted ingested no matter how long the reports have been queued.
+	if st := col.Stats(); st.ReportsIngested != 0 {
+		t.Errorf("ReportsIngested = %d while consumer blocked, want 0", st.ReportsIngested)
+	}
+	close(gate)
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Stats().ActiveConns != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never drained after release")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := col.Stats(); st.ReportsIngested != minutes {
+		t.Errorf("ReportsIngested = %d after release, want %d", st.ReportsIngested, minutes)
+	}
+}
+
+// TestStoreOnReportRace registers callbacks concurrently with ingestion;
+// the race detector is the assertion (the onReport field used to be
+// written without the store lock).
+func TestStoreOnReportRace(t *testing.T) {
+	s := NewStore(mon, time.Minute)
+	em := gateway.NewEmitter("gwR")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for m := 0; m < 200; m++ {
+			rep := em.Emit(mon.Add(time.Duration(m)*time.Minute), []gateway.DeviceMinute{{MAC: "m1", InBytes: 1, OutBytes: 1}})
+			if err := s.Ingest(rep); err != nil {
+				t.Errorf("ingest %d: %v", m, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			n := 0
+			s.OnReport(func(gateway.Report) { n++ })
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,155 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// collectPeer reads everything the wrapped side writes until it closes.
+func collectPeer(t *testing.T) (local net.Conn, received func() []byte) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(server)
+		done <- b
+	}()
+	return client, func() []byte {
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case b := <-done:
+			return b
+		case <-time.After(5 * time.Second):
+			t.Fatal("peer never finished reading")
+			return nil
+		}
+	}
+}
+
+func TestZeroPlanPassesThrough(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{})
+	for _, line := range []string{"one\n", "two\n"} {
+		if n, err := c.Write([]byte(line)); err != nil || n != len(line) {
+			t.Fatalf("write %q = (%d, %v)", line, n, err)
+		}
+	}
+	if got := string(received()); got != "one\ntwo\n" {
+		t.Errorf("peer received %q", got)
+	}
+	inj := c.Injected()
+	if inj != (Injections{Writes: 2}) {
+		t.Errorf("injections = %+v, want only Writes: 2", inj)
+	}
+}
+
+func TestFailWritesLoseWholeWrite(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{FailWrites: []int{1}})
+	lines := []string{"a\n", "lost\n", "c\n"}
+	var failed int
+	for _, line := range lines {
+		if _, err := c.Write([]byte(line)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed writes = %d, want 1", failed)
+	}
+	// The failed write reaches the wire not at all: a clean local loss.
+	if got := string(received()); got != "a\nc\n" {
+		t.Errorf("peer received %q, want the failed line absent", got)
+	}
+	inj := c.Injected()
+	if inj.Fails != 1 || inj.Writes != 3 {
+		t.Errorf("injections = %+v", inj)
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{FailEvery: 2}) // writes 1, 3, 5, ... fail
+	var failed int
+	for i := 0; i < 6; i++ {
+		if _, err := c.Write([]byte{'0' + byte(i), '\n'}); err != nil {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Errorf("failed = %d, want 3", failed)
+	}
+	if got := string(received()); got != "0\n2\n4\n" {
+		t.Errorf("peer received %q", got)
+	}
+}
+
+func TestPartialWriteTruncatesLine(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{PartialWrites: []int{0}})
+	payload := []byte("0123456789\n")
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Errorf("partial write n = %d, want %d", n, len(payload)/2)
+	}
+	if got := received(); !bytes.Equal(got, payload[:len(payload)/2]) {
+		t.Errorf("peer received %q, want the first half %q", got, payload[:len(payload)/2])
+	}
+	if inj := c.Injected(); inj.Partials != 1 {
+		t.Errorf("injections = %+v", inj)
+	}
+}
+
+func TestGarbageEveryInjectsWholeLines(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{GarbageEvery: 2}) // garbage precedes writes 1, 3
+	for i := 0; i < 4; i++ {
+		if _, err := c.Write([]byte{'0' + byte(i), '\n'}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	want := "0\n" + string(DefaultGarbage) + "1\n2\n" + string(DefaultGarbage) + "3\n"
+	if got := string(received()); got != want {
+		t.Errorf("peer received %q, want %q", got, want)
+	}
+	if inj := c.Injected(); inj.GarbageLines != 2 {
+		t.Errorf("injections = %+v", inj)
+	}
+}
+
+func TestCustomGarbage(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{GarbageEvery: 1, Garbage: []byte("noise\n")})
+	if _, err := c.Write([]byte("ok\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(received()); got != "noise\nok\n" {
+		t.Errorf("peer received %q", got)
+	}
+}
+
+func TestWriteDelay(t *testing.T) {
+	raw, received := collectPeer(t)
+	c := Wrap(raw, Faults{WriteDelay: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("write returned after %v, want >= 30ms", elapsed)
+	}
+	if got := string(received()); got != "x\n" {
+		t.Errorf("peer received %q", got)
+	}
+}

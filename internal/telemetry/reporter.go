@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"homesight/internal/gateway"
+)
+
+// Reporter robustness defaults: a broken pipe costs at most a few
+// seconds of backoff, and a minute's report survives it in the pending
+// buffer until the next successful write.
+const (
+	// DefaultDialAttempts bounds reconnect attempts per Send/Drain call.
+	DefaultDialAttempts = 6
+	// DefaultBaseBackoff is the first reconnect delay; it doubles per
+	// attempt up to DefaultMaxBackoff, with jitter.
+	DefaultBaseBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps the reconnect delay.
+	DefaultMaxBackoff = 2 * time.Second
+	// DefaultPendingBuffer bounds the unsent-report buffer; beyond it the
+	// oldest report is dropped and counted.
+	DefaultPendingBuffer = 256
+	// DefaultResendTail is how many recently written reports are replayed
+	// after a reconnect: a write that succeeded locally may still have
+	// died in the broken socket, and the collector dedups replays.
+	DefaultResendTail = 8
+)
+
+// ReporterConfig tunes a Reporter's retry envelope. The zero value
+// selects the defaults above and a plain TCP dial.
+type ReporterConfig struct {
+	// Dial opens the transport connection. nil → net.Dial("tcp", addr).
+	// Tests inject faultnet wrappers here.
+	Dial func() (net.Conn, error)
+	// DialAttempts bounds connection attempts per Send/Drain call before
+	// the call returns an error (pending reports are kept for the next
+	// call). 0 → DefaultDialAttempts.
+	DialAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential reconnect backoff.
+	// 0 → the defaults.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// PendingBuffer bounds the resend buffer. 0 → DefaultPendingBuffer.
+	PendingBuffer int
+	// ResendTail is how many recently written reports are replayed after
+	// a reconnect. 0 → DefaultResendTail; negative → none.
+	ResendTail int
+	// Seed seeds the backoff jitter. The default (0 → 1) is fixed so
+	// tests are deterministic; deployments give each gateway its own seed
+	// to decorrelate a reconnecting fleet.
+	Seed int64
+}
+
+func (cfg ReporterConfig) withDefaults(addr string) ReporterConfig {
+	if cfg.Dial == nil {
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.DialAttempts <= 0 {
+		cfg.DialAttempts = DefaultDialAttempts
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.PendingBuffer <= 0 {
+		cfg.PendingBuffer = DefaultPendingBuffer
+	}
+	if cfg.ResendTail == 0 {
+		cfg.ResendTail = DefaultResendTail
+	} else if cfg.ResendTail < 0 {
+		cfg.ResendTail = 0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// ReporterStats is a snapshot of a reporter's delivery accounting.
+type ReporterStats struct {
+	// ReportsSent counts successful report writes, including replays.
+	ReportsSent int64 `json:"reports_sent"`
+	// Reconnects counts successful re-dials after a failure.
+	Reconnects int64 `json:"reconnects"`
+	// WriteErrors counts failed report writes (each triggers a reconnect).
+	WriteErrors int64 `json:"write_errors"`
+	// DroppedOverflow counts reports evicted from a full pending buffer
+	// (the only way the reporter itself loses a report).
+	DroppedOverflow int64 `json:"dropped_overflow"`
+}
+
+// Reporter is a gateway-side client that streams reports to a collector
+// and survives transient transport faults: failed writes keep the report
+// in a bounded pending buffer, reconnects use exponential backoff with
+// jitter, and a short tail of already written reports is replayed after
+// each reconnect in case the broken socket swallowed them.
+type Reporter struct {
+	addr string
+	cfg  ReporterConfig
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	pending []gateway.Report // not yet written
+	tail    []gateway.Report // written; replayed on reconnect
+	stats   ReporterStats
+	closed  bool
+}
+
+// Dial connects a reporter to a collector address with the default retry
+// configuration.
+func Dial(addr string) (*Reporter, error) {
+	return DialConfig(addr, ReporterConfig{})
+}
+
+// DialConfig connects a reporter with an explicit retry configuration.
+// The first dial is eager and not retried, so configuration errors (bad
+// address, no listener) surface immediately.
+func DialConfig(addr string, cfg ReporterConfig) (*Reporter, error) {
+	cfg = cfg.withDefaults(addr)
+	r := &Reporter{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	conn, err := cfg.Dial()
+	if err != nil {
+		return nil, err
+	}
+	r.attach(conn)
+	return r, nil
+}
+
+// attach installs conn as the live connection. Callers hold mu (or own r
+// exclusively, as in DialConfig).
+func (r *Reporter) attach(conn net.Conn) {
+	r.conn = conn
+	r.bw = bufio.NewWriter(conn)
+	r.enc = json.NewEncoder(r.bw)
+}
+
+// Stats returns a snapshot of the reporter's delivery accounting.
+func (r *Reporter) Stats() ReporterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Send transmits one report, retrying over reconnects within the
+// configured dial-attempt budget. On error the undelivered reports stay
+// pending and the next Send (or Drain) retries them first: gateways
+// report once a minute, so the next minute's Send doubles as the retry
+// tick.
+func (r *Reporter) Send(rep gateway.Report) error {
+	return r.SendContext(context.Background(), rep)
+}
+
+// SendContext is Send with cancellation: backoff sleeps end early when
+// ctx is done and the undelivered reports stay pending.
+func (r *Reporter) SendContext(ctx context.Context, rep gateway.Report) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if len(r.pending) >= r.cfg.PendingBuffer {
+		r.pending = r.pending[1:]
+		r.stats.DroppedOverflow++
+	}
+	r.pending = append(r.pending, rep)
+	return r.flushPending(ctx)
+}
+
+// Drain flushes every pending report, reconnecting as needed, until done
+// or ctx is cancelled. After a clean Drain the collector has received
+// every report this reporter accepted (minus counted overflow drops).
+func (r *Reporter) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	return r.flushPending(ctx)
+}
+
+// flushPending writes pending reports in order, reconnecting with
+// backoff on failure. Called with mu held.
+func (r *Reporter) flushPending(ctx context.Context) error {
+	attempt := 0
+	for len(r.pending) > 0 {
+		if r.conn == nil {
+			if attempt >= r.cfg.DialAttempts {
+				return fmt.Errorf("telemetry: %d reports pending after %d reconnect attempts to %s",
+					len(r.pending), attempt, r.addr)
+			}
+			attempt++
+			if err := r.sleep(ctx, r.backoff(attempt)); err != nil {
+				return err
+			}
+			if err := r.reconnect(); err != nil {
+				continue
+			}
+		}
+		rep := r.pending[0]
+		if err := r.writeReport(rep); err != nil {
+			r.stats.WriteErrors++
+			r.teardown()
+			continue
+		}
+		r.pending = r.pending[1:]
+		r.pushTail(rep)
+		r.stats.ReportsSent++
+		attempt = 0 // progress: reset the reconnect budget
+	}
+	return nil
+}
+
+// writeReport encodes one report and flushes it to the wire: gateways
+// report once a minute, so buffering across reports would only delay
+// delivery (and widen the loss window of a broken pipe).
+func (r *Reporter) writeReport(rep gateway.Report) error {
+	if err := r.enc.Encode(rep); err != nil {
+		return err
+	}
+	return r.bw.Flush()
+}
+
+// reconnect dials a fresh connection and schedules the resend tail for
+// replay: writes that succeeded locally may have died in the old
+// socket's buffers, and the collector dedups what did arrive.
+func (r *Reporter) reconnect() error {
+	conn, err := r.cfg.Dial()
+	if err != nil {
+		return err
+	}
+	r.attach(conn)
+	r.stats.Reconnects++
+	if len(r.tail) > 0 {
+		r.pending = append(append(make([]gateway.Report, 0, len(r.tail)+len(r.pending)), r.tail...), r.pending...)
+		r.tail = r.tail[:0]
+	}
+	return nil
+}
+
+// teardown discards the live connection (and any half-written buffer
+// with it); the current report stays pending and is re-encoded whole on
+// the next connection.
+func (r *Reporter) teardown() {
+	if r.conn != nil {
+		_ = r.conn.Close()
+		r.conn = nil
+		r.bw = nil
+		r.enc = nil
+	}
+}
+
+// pushTail remembers a written report for post-reconnect replay.
+func (r *Reporter) pushTail(rep gateway.Report) {
+	if r.cfg.ResendTail == 0 {
+		return
+	}
+	r.tail = append(r.tail, rep)
+	if len(r.tail) > r.cfg.ResendTail {
+		r.tail = append(r.tail[:0], r.tail[1:]...)
+	}
+}
+
+// backoff returns the jittered exponential delay before reconnect
+// attempt n (n >= 1): the base doubles per attempt up to the cap, then
+// the delay is drawn uniformly from [d/2, d] so a fleet of reporters
+// does not reconnect in lockstep.
+func (r *Reporter) backoff(attempt int) time.Duration {
+	d := r.cfg.BaseBackoff << uint(attempt-1)
+	if d <= 0 || d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(r.rng.Int63n(int64(half)+1))
+}
+
+// sleep waits for d or until ctx is done.
+func (r *Reporter) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes the live connection and closes it. Close does not retry:
+// call Drain first when delivery of the pending buffer matters. Reports
+// still pending are reported as an error.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	var err error
+	if r.conn != nil {
+		err = r.bw.Flush()
+		if cerr := r.conn.Close(); err == nil {
+			err = cerr
+		}
+		r.conn = nil
+	}
+	if err == nil && len(r.pending) > 0 {
+		err = fmt.Errorf("telemetry: closed with %d reports undelivered", len(r.pending))
+	}
+	return err
+}

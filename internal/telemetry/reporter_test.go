@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/telemetry/faultnet"
+)
+
+func TestReporterConfigDefaults(t *testing.T) {
+	got := ReporterConfig{}.withDefaults("addr")
+	if got.Dial == nil {
+		t.Error("default Dial missing")
+	}
+	if got.DialAttempts != DefaultDialAttempts || got.BaseBackoff != DefaultBaseBackoff ||
+		got.MaxBackoff != DefaultMaxBackoff || got.PendingBuffer != DefaultPendingBuffer ||
+		got.ResendTail != DefaultResendTail || got.Seed != 1 {
+		t.Errorf("withDefaults() = %+v", got)
+	}
+	// Negative ResendTail disables the replay buffer.
+	if got := (ReporterConfig{ResendTail: -1}).withDefaults("addr"); got.ResendTail != 0 {
+		t.Errorf("ResendTail = %d, want 0", got.ResendTail)
+	}
+}
+
+// TestReporterBackoffEnvelope pins the reconnect delay schedule: doubling
+// from the base, capped at the max, jittered within [d/2, d], and
+// deterministic for a fixed seed.
+func TestReporterBackoffEnvelope(t *testing.T) {
+	cfg := ReporterConfig{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}.withDefaults("x")
+	r1 := &Reporter{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r2 := &Reporter{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := cfg.BaseBackoff << uint(attempt-1)
+		if d <= 0 || d > cfg.MaxBackoff {
+			d = cfg.MaxBackoff
+		}
+		b1 := r1.backoff(attempt)
+		if b2 := r2.backoff(attempt); b1 != b2 {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, b1, b2)
+		}
+		if b1 < d/2 || b1 > d {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, b1, d/2, d)
+		}
+	}
+}
+
+// TestReporterPendingOverflow pins the bounded-buffer contract: when
+// every write fails, the pending buffer drops its oldest report (counted)
+// rather than growing without bound, and once the transport heals the
+// surviving reports are delivered.
+func TestReporterPendingOverflow(t *testing.T) {
+	store := NewStore(mon, time.Minute)
+	col, err := NewCollector("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	broken := true
+	rep, err := DialConfig(col.Addr(), ReporterConfig{
+		PendingBuffer: 4,
+		DialAttempts:  1,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    2 * time.Millisecond,
+		Dial: func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", col.Addr())
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if broken {
+				return faultnet.Wrap(raw, faultnet.Faults{FailEvery: 1}), nil
+			}
+			return raw, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := gateway.NewEmitter("gwOV")
+	const minutes = 6
+	for m := 0; m < minutes; m++ {
+		r := em.Emit(mon.Add(time.Duration(m)*time.Minute), []gateway.DeviceMinute{{MAC: "m1", InBytes: 3, OutBytes: 3}})
+		if err := rep.Send(r); err == nil {
+			t.Fatalf("send %d succeeded over a dead transport", m)
+		}
+	}
+	if st := rep.Stats(); st.DroppedOverflow != minutes-4 {
+		t.Errorf("DroppedOverflow = %d, want %d", st.DroppedOverflow, minutes-4)
+	}
+	// Heal the transport: Drain must deliver the 4 surviving reports.
+	mu.Lock()
+	broken = false
+	mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rep.Drain(ctx); err != nil {
+		t.Fatalf("drain after heal: %v", err)
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Recorder("gwOV") == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("healed reporter never delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Reports 0 and 1 were evicted; 2..5 survive. Minute 3 onward has a
+	// computable delta (minute 2 re-initializes the meters after the gap).
+	in, _ := store.Recorder("gwOV").Series("m1", minutes)
+	for m := 3; m < minutes; m++ {
+		if in.Values[m] != 3 {
+			t.Errorf("minute %d = %g, want 3", m, in.Values[m])
+		}
+	}
+}
+
+// TestReporterDrainContextCancel pins cancellation: with every write
+// failing, Send and Drain give up when their context does, keep the
+// pending report, and return the context error.
+func TestReporterDrainContextCancel(t *testing.T) {
+	store := NewStore(mon, time.Minute)
+	col, err := NewCollector("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = col.Close() }()
+	rep, err := DialConfig(col.Addr(), ReporterConfig{
+		DialAttempts: 1 << 20, // never give up on attempts; only ctx ends it
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		Dial: func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", col.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.Wrap(raw, faultnet.Faults{FailEvery: 1}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := gateway.NewEmitter("gwC")
+	r := em.Emit(mon, []gateway.DeviceMinute{{MAC: "m1", InBytes: 1, OutBytes: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := rep.SendContext(ctx, r); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SendContext = %v, want deadline exceeded", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if err := rep.Drain(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want deadline exceeded", err)
+	}
+	// The report is still pending, and Close says so.
+	err = rep.Close()
+	if err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("Close = %v, want undelivered-reports error", err)
+	}
+	if err := rep.Close(); err != ErrClosed {
+		t.Errorf("second Close = %v, want ErrClosed", err)
+	}
+	if err := rep.Send(r); err != ErrClosed {
+		t.Errorf("Send after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestReporterDialAttemptBudget pins the per-call retry budget: a
+// transport that fails every write makes Send fail after the configured
+// reconnect attempts, and the report stays pending rather than being
+// lost.
+func TestReporterDialAttemptBudget(t *testing.T) {
+	store := NewStore(mon, time.Minute)
+	col, err := NewCollector("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = col.Close() }()
+	rep, err := DialConfig(col.Addr(), ReporterConfig{
+		DialAttempts: 2,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   2 * time.Millisecond,
+		Dial: func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", col.Addr())
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.Wrap(raw, faultnet.Faults{FailEvery: 1}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := gateway.NewEmitter("gwD")
+	r := em.Emit(mon, []gateway.DeviceMinute{{MAC: "m1", InBytes: 1, OutBytes: 1}})
+	err = rep.Send(r)
+	if err == nil || !strings.Contains(err.Error(), "reconnect attempts") {
+		t.Fatalf("Send = %v, want reconnect-budget error", err)
+	}
+	if err := rep.Close(); err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("Close = %v, want undelivered-reports error", err)
+	}
+}

@@ -11,6 +11,27 @@ import (
 	"homesight/internal/timeseries"
 )
 
+// NoThreshold, assigned to StreamingMotifs.Tau, disables background
+// removal entirely: every observed minute participates in aggregation.
+// Any negative Tau means the same; Tau == 0 (the zero value) keeps the
+// paper's cap. Before this sentinel existed, 0 was silently rewritten to
+// the cap and "no threshold" was inexpressible.
+const NoThreshold = -1
+
+// StreamStats is a snapshot of the streaming stage's drop accounting.
+type StreamStats struct {
+	// ReportsAccepted counts reports folded into a day buffer's gateway
+	// state (late duplicates excluded).
+	ReportsAccepted int64 `json:"reports_accepted"`
+	// LateDropped counts reports at or before a gateway's newest accepted
+	// timestamp: replays and reordered stragglers. Accepting them would
+	// corrupt the meters (cumulative counters are differenced in arrival
+	// order) and flap the live day buffer.
+	LateDropped int64 `json:"late_dropped"`
+	// DaysEmitted counts completed day windows handed to the matcher.
+	DaysEmitted int64 `json:"days_emitted"`
+}
+
 // StreamingMotifs is the streaming analytics stage the paper names as
 // future work: it consumes the live report stream, reconstructs each
 // gateway's per-minute traffic, and the moment a calendar day completes it
@@ -23,7 +44,8 @@ type StreamingMotifs struct {
 	// spec, 3h bins).
 	Spec timeseries.WindowSpec
 	// Tau is the background threshold applied to minute values before
-	// aggregation (0 → 5000, the paper's cap).
+	// aggregation: 0 → the paper's cap (background.CapBytes), negative
+	// (canonically NoThreshold) → no background removal.
 	Tau float64
 	// Matcher accumulates motifs (zero value = paper thresholds).
 	Matcher motif.Online
@@ -31,6 +53,8 @@ type StreamingMotifs struct {
 	mu     sync.Mutex
 	meters map[string]map[string]*struct{ rx, tx gateway.Meter }
 	days   map[string]*dayBuffer
+	last   map[string]time.Time // newest accepted timestamp per gateway
+	stats  StreamStats
 }
 
 type dayBuffer struct {
@@ -46,31 +70,48 @@ func (sm *StreamingMotifs) spec() timeseries.WindowSpec {
 	return sm.Spec
 }
 
-func (sm *StreamingMotifs) tau() float64 {
-	if sm.Tau == 0 {
-		return background.CapBytes
+// tau resolves the background threshold and whether to apply one at all.
+func (sm *StreamingMotifs) tau() (float64, bool) {
+	if sm.Tau < 0 {
+		return 0, false // NoThreshold: background removal disabled
 	}
-	return sm.Tau
+	if sm.Tau == 0 { //homesight:ignore zero-sentinel — zero keeps the paper cap; NoThreshold expresses "none"
+		return background.CapBytes, true
+	}
+	return sm.Tau, true
 }
 
-// Feed consumes one report.
+// Feed consumes one report. Reports must be non-decreasing in time per
+// gateway; a late or duplicate report is dropped and counted (see
+// StreamStats.LateDropped) rather than corrupting the meters or
+// replacing the live day buffer with a stale day.
 func (sm *StreamingMotifs) Feed(rep gateway.Report) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	if sm.meters == nil {
 		sm.meters = make(map[string]map[string]*struct{ rx, tx gateway.Meter })
 		sm.days = make(map[string]*dayBuffer)
+		sm.last = make(map[string]time.Time)
 	}
+	ts := rep.Timestamp.UTC()
+	if last, ok := sm.last[rep.GatewayID]; ok && !ts.After(last) {
+		sm.stats.LateDropped++
+		return
+	}
+	sm.last[rep.GatewayID] = ts
+	sm.stats.ReportsAccepted++
+
 	gm := sm.meters[rep.GatewayID]
 	if gm == nil {
 		gm = make(map[string]*struct{ rx, tx gateway.Meter })
 		sm.meters[rep.GatewayID] = gm
 	}
 
-	ts := rep.Timestamp.UTC()
 	day := time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, time.UTC)
 	buf := sm.days[rep.GatewayID]
 	if buf == nil || !buf.day.Equal(day) {
+		// Timestamps are monotone per gateway, so a day change always
+		// moves forward: the buffered day is complete.
 		if buf != nil && buf.seen > 0 {
 			sm.finishDay(rep.GatewayID, buf)
 		}
@@ -100,6 +141,13 @@ func (sm *StreamingMotifs) Feed(rep gateway.Report) {
 	}
 }
 
+// Stats returns a snapshot of the streaming stage's drop accounting.
+func (sm *StreamingMotifs) Stats() StreamStats {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.stats
+}
+
 func newDayBuffer(day time.Time) *dayBuffer {
 	vals := make([]float64, 24*60)
 	for i := range vals {
@@ -112,7 +160,10 @@ func newDayBuffer(day time.Time) *dayBuffer {
 // Called with the lock held.
 func (sm *StreamingMotifs) finishDay(gatewayID string, buf *dayBuffer) {
 	spec := sm.spec()
-	s := timeseries.New(buf.day, time.Minute, buf.vals).Threshold(sm.tau())
+	s := timeseries.New(buf.day, time.Minute, buf.vals)
+	if tau, apply := sm.tau(); apply {
+		s = s.Threshold(tau)
+	}
 	wins, err := spec.Windows(s)
 	if err != nil || len(wins) == 0 {
 		return
@@ -122,6 +173,7 @@ func (sm *StreamingMotifs) finishDay(gatewayID string, buf *dayBuffer) {
 		return
 	}
 	sm.Matcher.Add(motif.Instance{GatewayID: gatewayID, Window: w})
+	sm.stats.DaysEmitted++
 }
 
 // Flush finalizes all pending day buffers (end of stream).

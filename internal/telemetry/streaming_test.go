@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"homesight/internal/background"
+	"homesight/internal/gateway"
+)
+
+// feedAll feeds reports in order and returns the resulting motif
+// summaries after a flush.
+func feedAll(sm *StreamingMotifs, reps []gateway.Report) []motifSummary {
+	for _, r := range reps {
+		sm.Feed(r)
+	}
+	sm.Flush()
+	var out []motifSummary
+	for _, m := range sm.Motifs() {
+		out = append(out, motifSummary{support: m.Support(), gateways: len(m.Gateways())})
+	}
+	return out
+}
+
+// TestStreamingLateReportsDropped is the regression test for the day
+// flapping bug: a late report from an already-finished day used to
+// replace the live day buffer with a fresh buffer for the old day,
+// discarding the current day's partial state and re-emitting day windows
+// on every flip. Late reports are now dropped and counted.
+func TestStreamingLateReportsDropped(t *testing.T) {
+	const gw = "gwL"
+	reps := buildReports(gw, 2) // two full days, in order
+	clean := feedAll(&StreamingMotifs{}, reps)
+
+	// Interleave day-boundary stragglers: after crossing into day 2,
+	// replay the tail of day 1 (a reconnecting reporter's resend buffer),
+	// then keep going. The replay must not flap the day buffer.
+	sm := &StreamingMotifs{}
+	perDay := 24 * 60
+	var fed, late int
+	for i, r := range reps {
+		sm.Feed(r)
+		fed++
+		if i == perDay+10 { // 10 minutes into day 2
+			for _, old := range reps[perDay-8 : perDay] { // day 1 tail
+				sm.Feed(old)
+				late++
+			}
+		}
+		if i == perDay+20 { // duplicate of the report just fed
+			sm.Feed(r)
+			late++
+		}
+	}
+	sm.Flush()
+	var got []motifSummary
+	for _, m := range sm.Motifs() {
+		got = append(got, motifSummary{support: m.Support(), gateways: len(m.Gateways())})
+	}
+
+	st := sm.Stats()
+	if st.LateDropped != int64(late) {
+		t.Errorf("LateDropped = %d, want %d", st.LateDropped, late)
+	}
+	if st.ReportsAccepted != int64(fed) {
+		t.Errorf("ReportsAccepted = %d, want %d", st.ReportsAccepted, fed)
+	}
+	if st.DaysEmitted != 2 {
+		t.Errorf("DaysEmitted = %d, want 2 (flapping would re-emit day windows)", st.DaysEmitted)
+	}
+	if len(got) != len(clean) {
+		t.Fatalf("motifs with stragglers = %v, clean = %v", got, clean)
+	}
+	for i := range got {
+		if got[i] != clean[i] {
+			t.Errorf("motif %d: with stragglers %+v, clean %+v", i, got[i], clean[i])
+		}
+	}
+}
+
+// TestStreamingTauResolution pins the threshold sentinel semantics: the
+// zero value keeps the paper's background cap, NoThreshold (any negative
+// Tau) disables background removal, and a positive Tau is used as given.
+func TestStreamingTauResolution(t *testing.T) {
+	cases := []struct {
+		name  string
+		tauIn float64
+		want  float64
+		apply bool
+	}{
+		{"zero value keeps the paper cap", 0, background.CapBytes, true},
+		{"NoThreshold disables removal", NoThreshold, 0, false},
+		{"any negative disables removal", -7, 0, false},
+		{"explicit threshold passes through", 123.5, 123.5, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sm := &StreamingMotifs{Tau: tc.tauIn}
+			got, apply := sm.tau()
+			if apply != tc.apply || (apply && got != tc.want) {
+				t.Errorf("tau() = (%g, %v), want (%g, %v)", got, apply, tc.want, tc.apply)
+			}
+		})
+	}
+}
+
+// TestStreamingNoThresholdKeepsLowTraffic is the behavioral half of the
+// sentinel fix: traffic entirely below the background cap vanishes under
+// the default threshold but survives under NoThreshold. Before the
+// sentinel, Tau = 0 was silently rewritten to the cap and this analysis
+// was impossible to express.
+func TestStreamingNoThresholdKeepsLowTraffic(t *testing.T) {
+	build := func(tau float64) *StreamingMotifs {
+		sm := &StreamingMotifs{Tau: tau}
+		em := gateway.NewEmitter("gwQ")
+		for d := 0; d < 3; d++ {
+			for m := 0; m < 24*60; m++ {
+				ts := mon.AddDate(0, 0, d).Add(time.Duration(m) * time.Minute)
+				traffic := 40.0 // well below background.CapBytes
+				if m/60 >= 19 && m/60 < 23 {
+					traffic = 400
+				}
+				sm.Feed(em.Emit(ts, []gateway.DeviceMinute{{MAC: "m1", InBytes: traffic, OutBytes: 4}}))
+			}
+		}
+		sm.Flush()
+		return sm
+	}
+
+	profileSum := func(sm *StreamingMotifs) float64 {
+		total := 0.0
+		for _, m := range sm.Motifs() {
+			for _, v := range m.MeanProfile() {
+				total += v
+			}
+		}
+		return total
+	}
+
+	if got := profileSum(build(0)); got != 0 {
+		t.Errorf("default threshold kept %g bytes of sub-cap traffic, want 0", got)
+	}
+	if got := profileSum(build(NoThreshold)); got <= 0 {
+		t.Errorf("NoThreshold profile sum = %g, want > 0 (low traffic must survive)", got)
+	}
+}

@@ -3,14 +3,22 @@
 // server. The wire format is one JSON document per line over TCP; the
 // collector feeds a thread-safe Store of per-gateway recorders, from which
 // analysis code pulls reconstructed time series.
+//
+// The pipeline is built to degrade gracefully under real-deployment
+// faults rather than only surviving the happy path:
+//
+//   - the Collector resyncs past malformed lines, bounds per-connection
+//     garbage, enforces read deadlines and applies backpressure through a
+//     bounded ingest queue (see Collector and IngestStats);
+//   - the Reporter reconnects with exponential backoff + jitter and
+//     replays a bounded resend buffer across broken pipes (see Reporter);
+//   - the faultnet subpackage injects deterministic connection faults to
+//     test both ends.
 package telemetry
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"time"
@@ -38,8 +46,13 @@ func NewStore(start time.Time, step time.Duration) *Store {
 }
 
 // OnReport registers a callback invoked (synchronously, after ingestion)
-// for every report. It must be set before the collector starts serving.
-func (s *Store) OnReport(fn func(gateway.Report)) { s.onReport = fn }
+// for every successfully ingested report. It is safe to call concurrently
+// with Ingest; the new callback observes reports ingested after the call.
+func (s *Store) OnReport(fn func(gateway.Report)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onReport = fn
+}
 
 // Ingest stores one report.
 func (s *Store) Ingest(rep gateway.Report) error {
@@ -53,12 +66,13 @@ func (s *Store) Ingest(rep gateway.Report) error {
 		s.recorders[rep.GatewayID] = rec
 	}
 	err := rec.Ingest(rep)
+	fn := s.onReport
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	if s.onReport != nil {
-		s.onReport(rep)
+	if fn != nil {
+		fn(rep)
 	}
 	return nil
 }
@@ -82,158 +96,4 @@ func (s *Store) Recorder(gatewayID string) *gateway.Recorder {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.recorders[gatewayID]
-}
-
-// Collector is the central TCP report sink.
-type Collector struct {
-	store *Store
-	ln    net.Listener
-
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
-
-	// Errs receives per-connection ingest errors (dropped when full).
-	Errs chan error
-}
-
-// NewCollector starts listening on addr (e.g. "127.0.0.1:0") and serving
-// connections in the background.
-func NewCollector(addr string, store *Store) (*Collector, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Collector{
-		store: store,
-		ln:    ln,
-		conns: make(map[net.Conn]bool),
-		Errs:  make(chan error, 16),
-	}
-	c.wg.Add(1)
-	go c.acceptLoop()
-	return c, nil
-}
-
-// Addr returns the listening address.
-func (c *Collector) Addr() string { return c.ln.Addr().String() }
-
-func (c *Collector) acceptLoop() {
-	defer c.wg.Done()
-	for {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		c.conns[conn] = true
-		c.mu.Unlock()
-		c.wg.Add(1)
-		go c.serveConn(conn)
-	}
-}
-
-func (c *Collector) serveConn(conn net.Conn) {
-	defer c.wg.Done()
-	defer func() {
-		_ = conn.Close()
-		c.mu.Lock()
-		delete(c.conns, conn)
-		c.mu.Unlock()
-	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	for {
-		var rep gateway.Report
-		if err := dec.Decode(&rep); err != nil {
-			return // EOF or malformed stream: drop the connection
-		}
-		if err := c.store.Ingest(rep); err != nil {
-			select {
-			case c.Errs <- err:
-			default:
-			}
-		}
-	}
-}
-
-// Drain stops accepting new connections and waits for the existing
-// handlers to read their streams to EOF. Unlike Close it does not tear
-// down live connections, so reports still buffered in the sockets are
-// fully ingested; after Drain returns the store's recorders are safe to
-// read. Drain blocks until every client has disconnected — callers must
-// ensure the reporters have closed (or will close) their ends.
-func (c *Collector) Drain() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.ln.Close()
-	c.wg.Wait()
-	return err
-}
-
-// Close stops accepting, closes all connections and waits for handlers.
-func (c *Collector) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
-	}
-	c.closed = true
-	for conn := range c.conns {
-		_ = conn.Close()
-	}
-	c.mu.Unlock()
-	err := c.ln.Close()
-	c.wg.Wait()
-	return err
-}
-
-// Reporter is a gateway-side client that streams reports to a collector.
-type Reporter struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *json.Encoder
-	mu   sync.Mutex
-}
-
-// Dial connects a reporter to a collector address.
-func Dial(addr string) (*Reporter, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	bw := bufio.NewWriter(conn)
-	return &Reporter{conn: conn, bw: bw, enc: json.NewEncoder(bw)}, nil
-}
-
-// Send transmits one report and flushes it to the wire: gateways report
-// once a minute, so buffering across reports would only delay delivery.
-func (r *Reporter) Send(rep gateway.Report) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.enc.Encode(rep); err != nil {
-		return err
-	}
-	return r.bw.Flush()
-}
-
-// Close flushes and closes the connection.
-func (r *Reporter) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.bw.Flush(); err != nil {
-		_ = r.conn.Close() // flush error wins
-		return err
-	}
-	return r.conn.Close()
 }
