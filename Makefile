@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-build test-faults check
+.PHONY: build test race vet lint bench bench-build test-faults obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -14,7 +14,7 @@ race: ## full test suite under the race detector
 vet: ## stock go vet
 	$(GO) vet ./...
 
-lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha, zero-sentinel)
+lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha, zero-sentinel, printf-log)
 	$(GO) run ./cmd/homesight-vet ./...
 
 test-faults: ## deterministic fault-injection suite for the collection pipeline, under -race
@@ -27,5 +27,8 @@ bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit r
 bench-build: ## compile the benchmark harness without running it (check smoke)
 	$(GO) test -c -o /dev/null .
 
-check: vet race lint test-faults bench-build ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke
+obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
+	GO="$(GO)" sh scripts/obs_smoke.sh
+
+check: vet race lint test-faults bench-build obs-smoke ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke + obs smoke
 	@echo "check: all gates passed"

@@ -11,26 +11,28 @@
 // In demo mode the command simulates the given homes, replays their
 // campaign through real TCP connections at full speed, then prints the
 // per-gateway totals and the motifs the streaming stage discovered.
+//
+// -debug-addr serves live observability (Prometheus /metrics, /healthz,
+// /debug/pprof) alongside the ingest listener; the homesight_ingest_*
+// series mirror telemetry.IngestStats exactly. See OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"sync"
 	"time"
 
 	"homesight/internal/gateway"
+	"homesight/internal/obs"
+	"homesight/internal/obs/slogx"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("collector: ")
-
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	demo := flag.Bool("demo", false, "replay a synthetic deployment through the collector")
 	homes := flag.Int("homes", 5, "demo: number of gateways")
@@ -40,8 +42,19 @@ func main() {
 		"per-connection read deadline (negative disables)")
 	queue := flag.Int("queue", telemetry.DefaultQueueSize,
 		"ingest queue bound (full queue backpressures the sockets)")
-	metricsPath := flag.String("metrics", "", "demo: write ingest accounting as JSON to this file")
+	metricsPath := flag.String("metrics", "",
+		`demo: write ingest accounting as JSON to this path ("-" = stderr)`)
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := slogx.With("component", "collector")
+	if lvl, err := slogx.ParseLevel(*logLevel); err != nil {
+		logger.Fatal("bad flag", "flag", "log-level", "err", err)
+	} else {
+		slogx.SetLevel(lvl)
+	}
 
 	cfg := synth.Config{Homes: *homes, Weeks: *weeks, Seed: *seed}
 	dep := synth.NewDeployment(cfg)
@@ -51,15 +64,26 @@ func main() {
 	streaming := &telemetry.StreamingMotifs{}
 	store.OnReport(streaming.Feed)
 
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.NewServer(*debugAddr, reg)
+		if err != nil {
+			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
+		}
+		defer func() { _ = srv.Close() }() // best-effort shutdown at exit
+		logger.Info("debug server listening", "addr", srv.Addr())
+	}
+
 	col, err := telemetry.NewCollectorConfig(*addr, store, telemetry.CollectorConfig{
 		ReadTimeout: *readTimeout,
 		QueueSize:   *queue,
+		Metrics:     telemetry.NewIngestMetrics(reg),
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("listen failed", "addr", *addr, "err", err)
 	}
 	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
-	log.Printf("listening on %s", col.Addr())
+	logger.Info("listening", "addr", col.Addr())
 
 	if !*demo {
 		// Serve until interrupted.
@@ -67,9 +91,10 @@ func main() {
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 		st := col.Stats()
-		log.Printf("shutting down; gateways seen: %v", store.GatewayIDs())
-		log.Printf("ingest: %d reports, %d lines dropped, %d rejected, %d errors shed",
-			st.ReportsIngested, st.LinesDropped, st.IngestErrors, st.ErrorsShed)
+		logger.Info("shutting down", "gateways", len(store.GatewayIDs()))
+		logger.Info("ingest accounting",
+			"reports", st.ReportsIngested, "dropped", st.LinesDropped,
+			"rejected", st.IngestErrors, "shed", st.ErrorsShed)
 		return
 	}
 
@@ -77,7 +102,7 @@ func main() {
 	// instead of being shed once the channel fills.
 	go func() {
 		for err := range col.Errs {
-			log.Printf("ingest: %v", err)
+			logger.Warn("ingest error", "err", err)
 		}
 	}()
 
@@ -87,7 +112,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			if err := replayHome(col.Addr(), dep, i); err != nil {
-				log.Printf("gateway %d: %v", i, err)
+				logger.Error("replay failed", "gateway", i, "err", err)
 			}
 		}(i)
 	}
@@ -102,7 +127,7 @@ func main() {
 		time.Sleep(20 * time.Millisecond)
 	}
 	if err := col.Drain(); err != nil {
-		log.Fatal(err)
+		logger.Fatal("drain failed", "err", err)
 	}
 	streaming.Flush()
 
@@ -111,7 +136,7 @@ func main() {
 		stats.ReportsIngested, stats.LinesDropped, stats.IngestErrors, stats.ErrorsShed, stats.ConnsOpened)
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, stats); err != nil {
-			log.Fatal(err)
+			logger.Fatal("metrics write failed", "path", *metricsPath, "err", err)
 		}
 	}
 
@@ -133,13 +158,17 @@ func main() {
 }
 
 // writeMetrics emits the run's ingest accounting in the RunMetrics
-// schema shared with cmd/experiments.
+// schema shared with cmd/experiments ("-" = stderr, matching the
+// -metrics contract documented in the README).
 func writeMetrics(path string, stats telemetry.IngestStats) error {
+	m := telemetry.RunMetrics{Ingest: &stats}
+	if path == "-" {
+		return m.WriteJSON(os.Stderr)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	m := telemetry.RunMetrics{Ingest: &stats}
 	if err := m.WriteJSON(f); err != nil {
 		_ = f.Close() // write error wins
 		return err

@@ -11,26 +11,30 @@
 // report as JSON. Flags scale the run down for quick looks (-homes, -weeks)
 // and select a subset of experiments (-run, comma-separated ids like
 // fig5,fig9).
+//
+// -debug-addr serves live observability (Prometheus /metrics, /healthz,
+// /debug/pprof) while the run executes; -hold keeps that server up after
+// the experiments finish so a scraper or profiler can attach to a short
+// run. See OBSERVABILITY.md for the metric catalog.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"homesight/internal/experiments"
+	"homesight/internal/obs"
+	"homesight/internal/obs/slogx"
 	"homesight/internal/runner"
 	"homesight/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
-
 	homes := flag.Int("homes", 196, "number of gateways")
 	weeks := flag.Int("weeks", 8, "campaign length in weeks")
 	seed := flag.Int64("seed", 0, "master seed (default 20140317)")
@@ -39,40 +43,67 @@ func main() {
 		"worker count for the engine and per-gateway fan-out (1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-experiment timeout (0 = none)")
 	metricsPath := flag.String("metrics", "", `write run metrics JSON to this path ("-" = stderr)`)
+	debugAddr := flag.String("debug-addr", "",
+		"serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8081; empty = off)")
+	hold := flag.Duration("hold", 0,
+		"keep the -debug-addr server up this long after the run (0 = exit immediately)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := slogx.With("component", "experiments")
+	if lvl, err := slogx.ParseLevel(*logLevel); err != nil {
+		logger.Fatal("bad flag", "flag", "log-level", "err", err)
+	} else {
+		slogx.SetLevel(lvl)
+	}
+
+	// One registry carries all three layers: runner timings, Env cache
+	// counters, and the ingest family (pre-registered at zero here — this
+	// binary runs no collector, but dashboards want uniform series).
+	reg := obs.NewRegistry()
+	_ = telemetry.NewIngestMetrics(reg)
+	if *debugAddr != "" {
+		srv, err := obs.NewServer(*debugAddr, reg)
+		if err != nil {
+			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
+		}
+		defer func() { _ = srv.Close() }() // best-effort shutdown at exit
+		logger.Info("debug server listening", "addr", srv.Addr())
+	}
 
 	opts := []experiments.Option{
 		experiments.WithHomes(*homes),
 		experiments.WithWeeks(*weeks),
 		experiments.WithParallelism(*parallel),
+		experiments.WithRegistry(reg),
 	}
 	if *seed != 0 {
 		opts = append(opts, experiments.WithSeed(*seed))
 	}
 	env, err := experiments.NewEnv(opts...)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("env setup failed", "err", err)
 	}
 
 	var results experiments.Results
-	reg := runner.NewRegistry()
+	registry := runner.NewRegistry()
 	for _, x := range runner.StandardExperiments(&results) {
-		if err := reg.Register(x); err != nil {
-			log.Fatal(err)
+		if err := registry.Register(x); err != nil {
+			logger.Fatal("experiment registration failed", "err", err)
 		}
 	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*runList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
-			if _, known := reg.Get(id); !known {
-				log.Fatalf("unknown experiment id %q", id)
+			if _, known := registry.Get(id); !known {
+				logger.Fatal("unknown experiment id", "id", id)
 			}
 			selected[id] = true
 		}
 	}
 	var exps []runner.Experiment
-	for _, x := range reg.Experiments() {
+	for _, x := range registry.Experiments() {
 		if len(selected) > 0 && !selected[x.ID()] {
 			continue
 		}
@@ -82,7 +113,7 @@ func main() {
 	fmt.Printf("homesight experiments — %d gateways, %d weeks, seed %d\n\n",
 		env.Dep.Config().Homes, env.Dep.Config().Weeks, env.Dep.Config().Seed)
 
-	eng := runner.Engine{Parallelism: *parallel, Timeout: *timeout}
+	eng := runner.Engine{Parallelism: *parallel, Timeout: *timeout, Obs: runner.NewRunnerMetrics(reg)}
 	reports, metrics, runErr := eng.Run(context.Background(), env, exps)
 
 	// Reports come back in registration order whatever the parallelism, so
@@ -102,10 +133,14 @@ func main() {
 	}
 
 	if err := writeMetrics(*metricsPath, metrics); err != nil {
-		log.Fatal(err)
+		logger.Fatal("metrics write failed", "path", *metricsPath, "err", err)
 	}
 	if runErr != nil {
-		log.Fatal(runErr)
+		logger.Fatal("run failed", "err", runErr)
+	}
+	if *debugAddr != "" && *hold > 0 {
+		logger.Info("holding debug server", "hold", *hold)
+		time.Sleep(*hold)
 	}
 }
 

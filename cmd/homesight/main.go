@@ -13,13 +13,15 @@
 //	stationary  strong-stationarity census (Def. 2)
 //	background  background-traffic thresholds per device (Sec. 6.1)
 //	similarity  correlation similarity between two gateways (Def. 1)
+//
+// -debug-addr serves live observability (Prometheus /metrics, /healthz,
+// /debug/pprof) while the analysis runs. See OBSERVABILITY.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"runtime"
@@ -30,12 +32,15 @@ import (
 	"homesight/internal/dataset"
 	"homesight/internal/dominance"
 	"homesight/internal/experiments"
+	"homesight/internal/obs"
+	"homesight/internal/obs/slogx"
 	"homesight/internal/report"
 )
 
+// logger stamps every event from this binary; subcommand helpers share it.
+var logger = slogx.With("component", "homesight")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("homesight: ")
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -49,8 +54,27 @@ func main() {
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count for per-gateway fan-out")
 	gatewayID := fs.String("gw", "", "restrict output to one gateway id")
 	dataDir := fs.String("data", "", "analyze a homesim export instead of simulating")
+	debugAddr := fs.String("debug-addr", "",
+		"serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+
+	if lvl, err := slogx.ParseLevel(*logLevel); err != nil {
+		logger.Fatal("bad flag", "flag", "log-level", "err", err)
+	} else {
+		slogx.SetLevel(lvl)
+	}
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		srv, err := obs.NewServer(*debugAddr, reg)
+		if err != nil {
+			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
+		}
+		defer func() { _ = srv.Close() }() // best-effort shutdown at exit
+		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
 	if *dataDir != "" {
@@ -62,13 +86,14 @@ func main() {
 		experiments.WithHomes(*homes),
 		experiments.WithWeeks(*weeks),
 		experiments.WithParallelism(*parallel),
+		experiments.WithRegistry(reg),
 	}
 	if *seed != 0 {
 		opts = append(opts, experiments.WithSeed(*seed))
 	}
 	env, err := experiments.NewEnv(opts...)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("env setup failed", "err", err)
 	}
 
 	switch cmd {
@@ -109,10 +134,10 @@ data mode:    -data DIR analyzes a homesim export (dominants, background)`)
 func runFromData(cmd, dir, only string) {
 	man, gateways, err := dataset.LoadDir(dir)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("load failed", "dir", dir, "err", err)
 	}
-	log.Printf("loaded %d gateways (%d weeks from %s)",
-		len(gateways), man.Config.Weeks, man.Config.Start.Format("2006-01-02"))
+	logger.Info("loaded export", "gateways", len(gateways),
+		"weeks", man.Config.Weeks, "start", man.Config.Start.Format("2006-01-02"))
 	switch cmd {
 	case "dominants":
 		det := core.Default.Detector()
@@ -145,14 +170,14 @@ func runFromData(cmd, dir, only string) {
 		}
 		fmt.Print(t.String())
 	default:
-		log.Fatalf("data mode supports the dominants and background subcommands, not %q", cmd)
+		logger.Fatal("data mode supports only dominants and background", "subcommand", cmd)
 	}
 }
 
 func runDominants(env *experiments.Env, only string) {
 	res, err := experiments.Fig05DominantDevices(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("dominants failed", "err", err)
 	}
 	fmt.Print(res)
 	if only != "" {
@@ -178,13 +203,13 @@ func printGatewayDominants(env *experiments.Env, id string) {
 		fmt.Print(t.String())
 		return
 	}
-	log.Fatalf("gateway %q not found", id)
+	logger.Fatal("gateway not found", "gw", id)
 }
 
 func runMotifs(env *experiments.Env) {
 	weekly, err := experiments.MineWeeklyMotifs(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("weekly motifs failed", "err", err)
 	}
 	fmt.Print(weekly)
 	fmt.Print(experiments.RenderProfiles("Weekly motifs of interest (Fig 11)",
@@ -192,7 +217,7 @@ func runMotifs(env *experiments.Env) {
 
 	daily, err := experiments.MineDailyMotifs(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("daily motifs failed", "err", err)
 	}
 	fmt.Print(daily)
 	fmt.Print(experiments.RenderProfiles("Daily motifs of interest (Fig 14)",
@@ -202,12 +227,12 @@ func runMotifs(env *experiments.Env) {
 func runAggregate(env *experiments.Env) {
 	w, err := experiments.Fig06WeeklyAggregation(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("weekly aggregation failed", "err", err)
 	}
 	fmt.Print(w)
 	d, err := experiments.Fig08DailyAggregation(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("daily aggregation failed", "err", err)
 	}
 	fmt.Print(d)
 }
@@ -215,12 +240,12 @@ func runAggregate(env *experiments.Env) {
 func runStationary(env *experiments.Env) {
 	share, err := experiments.TabStationaryShare(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("stationary share failed", "err", err)
 	}
 	fmt.Print(share)
 	f7, err := experiments.Fig07StationaryGateways(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("stationary gateways failed", "err", err)
 	}
 	fmt.Print(f7)
 }
@@ -228,14 +253,14 @@ func runStationary(env *experiments.Env) {
 func runBackground(env *experiments.Env) {
 	res, err := experiments.Fig04BackgroundTau(context.Background(), env)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("background thresholds failed", "err", err)
 	}
 	fmt.Print(res)
 }
 
 func runSimilarity(env *experiments.Env, ids []string) {
 	if len(ids) != 2 {
-		log.Fatal("similarity needs two gateway ids, e.g. gw001 gw002")
+		logger.Fatal("similarity needs two gateway ids", "example", "gw001 gw002")
 	}
 	var series [][]float64
 	for _, id := range ids {
@@ -247,14 +272,14 @@ func runSimilarity(env *experiments.Env, ids []string) {
 			}
 			agg, err := h.Overall().FillMissing(0).Aggregate(3 * time.Hour)
 			if err != nil {
-				log.Fatal(err)
+				logger.Fatal("aggregation failed", "gw", id, "err", err)
 			}
 			series = append(series, agg.Values)
 			found = true
 			break
 		}
 		if !found {
-			log.Fatalf("gateway %q not found", id)
+			logger.Fatal("gateway not found", "gw", id)
 		}
 	}
 	sim := env.Framework.Similarity(series[0], series[1])

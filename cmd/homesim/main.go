@@ -14,11 +14,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
 	"homesight/internal/dataset"
+	"homesight/internal/obs/slogx"
 	"homesight/internal/synth"
 )
 
@@ -38,8 +38,7 @@ type manifestHome struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("homesim: ")
+	logger := slogx.With("component", "homesim")
 
 	out := flag.String("out", "data", "output directory")
 	homes := flag.Int("homes", 0, "number of gateways (default 196)")
@@ -54,7 +53,7 @@ func main() {
 	cfg = dep.Config()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		logger.Fatal("mkdir failed", "dir", *out, "err", err)
 	}
 
 	man := manifest{Config: cfg}
@@ -63,7 +62,7 @@ func main() {
 		g := dataset.FromSynthHome(h, 0, *survey && i < 49)
 		path := filepath.Join(*out, h.ID+".csv")
 		if err := writeGateway(path, g); err != nil {
-			log.Fatalf("writing %s: %v", path, err)
+			logger.Fatal("gateway write failed", "path", path, "err", err)
 		}
 		man.Homes = append(man.Homes, manifestHome{
 			ID:          h.ID,
@@ -74,22 +73,22 @@ func main() {
 			Devices:     len(h.Devices),
 		})
 		if !*quiet && (i+1)%20 == 0 {
-			log.Printf("%d/%d gateways written", i+1, dep.NumHomes())
+			logger.Info("progress", "written", i+1, "total", dep.NumHomes())
 		}
 	}
 
 	manPath := filepath.Join(*out, "deployment.json")
 	f, err := os.Create(manPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("manifest create failed", "path", manPath, "err", err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(man); err != nil {
-		log.Fatal(err)
+		logger.Fatal("manifest encode failed", "path", manPath, "err", err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		logger.Fatal("manifest close failed", "path", manPath, "err", err)
 	}
 	if !*quiet {
 		fmt.Printf("wrote %d gateways and %s\n", dep.NumHomes(), manPath)

@@ -8,19 +8,19 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
 	"homesight/internal/gateway"
 	"homesight/internal/motif"
+	"homesight/internal/obs/slogx"
 	"homesight/internal/report"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
+	logger := slogx.With("component", "streaming-example")
 	cfg := synth.Config{Homes: 6, Weeks: 2}
 	dep := synth.NewDeployment(cfg)
 	cfg = dep.Config()
@@ -31,11 +31,11 @@ func main() {
 
 	col, err := telemetry.NewCollector("127.0.0.1:0", store)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatal("listen failed", "err", err)
 	}
 	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
-	log.Printf("collector on %s; streaming %d gateways × %d weeks",
-		col.Addr(), cfg.Homes, cfg.Weeks)
+	logger.Info("collector listening", "addr", col.Addr(),
+		"gateways", cfg.Homes, "weeks", cfg.Weeks)
 
 	var wg sync.WaitGroup
 	for i := 0; i < dep.NumHomes(); i++ {
@@ -43,7 +43,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			if err := stream(col.Addr(), dep, i); err != nil {
-				log.Printf("gateway %d: %v", i, err)
+				logger.Error("stream failed", "gateway", i, "err", err)
 			}
 		}(i)
 	}
@@ -52,8 +52,8 @@ func main() {
 	streaming.Flush()
 
 	st := col.Stats()
-	log.Printf("ingest: %d reports accepted, %d lines dropped, %d rejected",
-		st.ReportsIngested, st.LinesDropped, st.IngestErrors)
+	logger.Info("ingest accounting", "reports", st.ReportsIngested,
+		"dropped", st.LinesDropped, "rejected", st.IngestErrors)
 
 	motifs := streaming.Motifs()
 	fmt.Printf("\nstreaming stage discovered %d recurring daily patterns:\n", len(motifs))

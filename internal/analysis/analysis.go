@@ -94,6 +94,7 @@ func All() []*Analyzer {
 		NakedGoroutine,
 		BareAlpha,
 		ZeroSentinel,
+		PrintfLog,
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules

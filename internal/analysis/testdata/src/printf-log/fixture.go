@@ -1,0 +1,41 @@
+// Package fixture exercises the printf-log rule: production code logs
+// through obs/slogx, not stdlib log.Print/Printf/Println. Process-exit
+// helpers (log.Fatal*) and methods on a configured *log.Logger are
+// exempt.
+package fixture
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func events(addr string, n int) {
+	log.Printf("listening on %s", addr)     // want `log.Printf in production code`
+	log.Print("collector started")          // want `log.Print in production code`
+	log.Println("shutting down", n, "left") // want `log.Println in production code`
+}
+
+func exitHelpersAllowed(err error) {
+	if err != nil {
+		log.Fatal(err) // Fatal is process exit, not an event: no finding.
+	}
+}
+
+func loggerMethodsAllowed() {
+	// A configured *log.Logger is someone else's sink (e.g. handed to a
+	// third-party API): no finding.
+	l := log.New(os.Stderr, "fixture: ", 0)
+	l.Printf("via logger value %d", 1)
+	l.Println("also fine")
+}
+
+func otherPrintfsAllowed(w *os.File) {
+	// Only the log package is gated; fmt stays available for real output.
+	fmt.Printf("table row %d\n", 2)
+	fmt.Fprintf(w, "row %d\n", 3)
+}
+
+func ignoredWithRationale() {
+	log.Printf("legacy hook") //homesight:ignore printf-log — feeds a test harness that parses this exact line
+}

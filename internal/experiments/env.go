@@ -20,6 +20,7 @@ import (
 	"homesight/internal/corrsim"
 	"homesight/internal/dataset"
 	"homesight/internal/dominance"
+	"homesight/internal/obs"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
 	"homesight/internal/timeseries"
@@ -44,10 +45,11 @@ type Env struct {
 	SurveyHomes int
 
 	parallelism int
-	stats       *telemetry.CacheStats
+	reg         *obs.Registry
+	caches      map[string]*cacheMetrics
 
 	gatewaysOnce sync.Once
-	gatewaysCtr  *telemetry.CacheCounter
+	gatewaysCtr  *cacheMetrics
 	gateways     []*gatewayCache
 
 	series *memo[int, homeSeries]
@@ -94,6 +96,7 @@ type Option func(*envConfig) error
 type envConfig struct {
 	synth       synth.Config
 	parallelism int
+	registry    *obs.Registry
 }
 
 // WithHomes sets the number of gateways (paper: 196); n must be >= 1.
@@ -141,6 +144,20 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithRegistry exports the Env's cache counters on reg as
+// homesight_cache_{hits,misses,evictions}_total{cache="..."} instead of
+// a private registry — how cmd/experiments surfaces cache behaviour on
+// /metrics. reg must be non-nil.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(c *envConfig) error {
+		if reg == nil {
+			return fmt.Errorf("experiments: WithRegistry(nil)")
+		}
+		c.registry = reg
+		return nil
+	}
+}
+
 // WithConfig replaces the whole synth configuration at once (zero fields
 // keep their defaults). Later WithHomes/WithWeeks/WithSeed options still
 // apply on top.
@@ -165,13 +182,17 @@ func NewEnv(opts ...Option) (*Env, error) {
 	if err := cfg.synth.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
 	e := &Env{
 		Dep:              synth.NewDeployment(cfg.synth),
 		WeeksMain:        4,
 		WeeksWeeklyMotif: 6,
 		SurveyHomes:      49,
 		parallelism:      cfg.parallelism,
-		stats:            telemetry.NewCacheStats(),
+		reg:              cfg.registry,
+		caches:           make(map[string]*cacheMetrics),
 	}
 	if e.WeeksWeeklyMotif > e.Dep.Config().Weeks {
 		e.WeeksWeeklyMotif = e.Dep.Config().Weeks
@@ -179,19 +200,53 @@ func NewEnv(opts ...Option) (*Env, error) {
 	if e.WeeksMain > e.Dep.Config().Weeks {
 		e.WeeksMain = e.Dep.Config().Weeks
 	}
-	e.gatewaysCtr = e.stats.Counter("gateway-aggregates")
-	e.series = newMemo[int, homeSeries](e.stats.Counter("device-series"))
-	e.pairs = newMemo[int, []corrsim.Detail](e.stats.Counter("pair-similarity"))
-	e.doms = newMemo[int, dominance.Result](e.stats.Counter("dominance"))
-	e.taus = newMemo[tauKey, background.Threshold](e.stats.Counter("background-threshold"))
+	e.gatewaysCtr = e.newCache("gateway-aggregates")
+	e.series = newMemo[int, homeSeries](e.newCache("device-series"))
+	e.pairs = newMemo[int, []corrsim.Detail](e.newCache("pair-similarity"))
+	e.doms = newMemo[int, dominance.Result](e.newCache("dominance"))
+	e.taus = newMemo[tauKey, background.Threshold](e.newCache("background-threshold"))
 	return e, nil
 }
 
 // Parallelism returns the worker budget of per-gateway fan-out.
 func (e *Env) Parallelism() int { return e.parallelism }
 
-// CacheStats snapshots the hit/miss counters of every shared cache.
-func (e *Env) CacheStats() map[string]telemetry.CacheSnapshot { return e.stats.Snapshot() }
+// Registry returns the registry carrying the Env's cache counters — the
+// one WithRegistry supplied, or the Env's private default.
+func (e *Env) Registry() *obs.Registry { return e.reg }
+
+// CacheStats snapshots the hit/miss counters of every shared cache. The
+// map shape feeds telemetry.RunMetrics.Caches unchanged, so the -metrics
+// JSON report is byte-identical to the pre-registry plumbing.
+func (e *Env) CacheStats() map[string]telemetry.CacheSnapshot {
+	out := make(map[string]telemetry.CacheSnapshot, len(e.caches))
+	for name, c := range e.caches {
+		out[name] = telemetry.CacheSnapshot{Hits: c.hits.Value(), Misses: c.misses.Value()}
+	}
+	return out
+}
+
+// cacheMetrics is one cache's registry-backed counters. The memo caches
+// are build-once and never evict, so evictions is registered (the series
+// exists for dashboards) but only a future bounded cache would move it.
+type cacheMetrics struct {
+	hits, misses, evictions *obs.Counter
+}
+
+// newCache registers the per-cache series under the shared cache
+// families, labelled cache=<name>.
+func (e *Env) newCache(name string) *cacheMetrics {
+	c := &cacheMetrics{
+		hits: e.reg.CounterVec("homesight_cache_hits_total",
+			"Cache lookups served from the cache.", "cache").With(name),
+		misses: e.reg.CounterVec("homesight_cache_misses_total",
+			"Cache lookups that had to build their value.", "cache").With(name),
+		evictions: e.reg.CounterVec("homesight_cache_evictions_total",
+			"Cache entries evicted (always 0 today: the memo caches never evict).", "cache").With(name),
+	}
+	e.caches[name] = c
+	return c
+}
 
 // Home regenerates home i (cheap and deterministic).
 func (e *Env) Home(i int) *synth.Home { return e.Dep.Home(i) }
@@ -200,7 +255,7 @@ func (e *Env) Home(i int) *synth.Home { return e.Dep.Home(i) }
 // build per key (the first caller builds, the rest block on its Once),
 // and every lookup is counted on the Env's cache stats.
 type memo[K comparable, V any] struct {
-	counter *telemetry.CacheCounter
+	counter *cacheMetrics
 	mu      sync.Mutex
 	entries map[K]*memoEntry[V]
 }
@@ -210,7 +265,7 @@ type memoEntry[V any] struct {
 	v    V
 }
 
-func newMemo[K comparable, V any](c *telemetry.CacheCounter) *memo[K, V] {
+func newMemo[K comparable, V any](c *cacheMetrics) *memo[K, V] {
 	return &memo[K, V]{counter: c, entries: make(map[K]*memoEntry[V])}
 }
 
@@ -220,9 +275,9 @@ func (m *memo[K, V]) get(k K, build func() V) V {
 	if e == nil {
 		e = &memoEntry[V]{}
 		m.entries[k] = e
-		m.counter.Miss()
+		m.counter.misses.Inc()
 	} else {
-		m.counter.Hit()
+		m.counter.hits.Inc()
 	}
 	m.mu.Unlock()
 	e.once.Do(func() { e.v = build() })
@@ -298,9 +353,9 @@ func (e *Env) ensureGateways() {
 		})
 	})
 	if built {
-		e.gatewaysCtr.Miss()
+		e.gatewaysCtr.misses.Inc()
 	} else {
-		e.gatewaysCtr.Hit()
+		e.gatewaysCtr.hits.Inc()
 	}
 }
 

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the debug/observability HTTP endpoint every homesight binary
+// can expose behind its -debug-addr flag. It serves:
+//
+//	/metrics        the registry, Prometheus text exposition
+//	/healthz        "ok" with status 200 while the process is serving
+//	/debug/pprof/   the standard net/http/pprof handlers (profile,
+//	                heap, goroutine, trace, ...)
+//
+// The server binds eagerly (NewServer fails fast on a bad address) and
+// serves in the background until Close. It deliberately uses its own
+// mux, not http.DefaultServeMux, so importing this package never leaks
+// profiling handlers into an application's public listener.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewServer starts serving reg on addr (e.g. "127.0.0.1:0"; an explicit
+// port pins the scrape target, port 0 picks a free one — read it back
+// with Addr).
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w) // a broken scrape socket is the scraper's problem
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler: mux,
+			// Reads are tiny GETs; a stuck scraper must not pin a conn
+			// forever. No write timeout: pprof profile captures stream for
+			// a caller-chosen number of seconds.
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // always ErrServerClosed or a closed-listener error after Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43211".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes active connections and joins the
+// serve goroutine.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

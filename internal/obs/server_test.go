@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }() // test teardown
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestServerEndpoints starts a real server on a free port and exercises
+// the three endpoint groups the -debug-addr flag promises.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "Hits.").Add(7)
+
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	code, ctype, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "test_hits_total 7") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, _, body = get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+
+	// pprof index and one non-streaming profile endpoint.
+	code, _, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, body misses profile index", code)
+	}
+	code, _, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestServerBadAddr pins the fail-fast contract: a bad address errors at
+// construction, not at first scrape.
+func TestServerBadAddr(t *testing.T) {
+	if _, err := NewServer("256.0.0.1:99999", NewRegistry()); err == nil {
+		t.Error("NewServer on an invalid address succeeded")
+	}
+}

@@ -21,6 +21,18 @@ type Engine struct {
 	// Timeout bounds each experiment's Run; 0 means no per-experiment
 	// deadline (the outer ctx still applies).
 	Timeout time.Duration
+	// Obs receives the engine's registry-backed instruments (durations,
+	// panics, timeouts, worker occupancy). nil → a process-private
+	// bundle, so instrumentation is always on but exported nowhere.
+	Obs *RunnerMetrics
+}
+
+// metrics returns the engine's instrument bundle, defaulting privately.
+func (g *Engine) metrics() *RunnerMetrics {
+	if g.Obs != nil {
+		return g.Obs
+	}
+	return fallbackMetrics()
 }
 
 // Report is one experiment's outcome.
@@ -73,6 +85,7 @@ func (g *Engine) Run(ctx context.Context, env *experiments.Env, exps []Experimen
 		}
 	}()
 
+	om := g.metrics()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
@@ -81,9 +94,13 @@ func (g *Engine) Run(ctx context.Context, env *experiments.Env, exps []Experimen
 			defer wg.Done()
 			for i := range jobs {
 				x := exps[i]
+				om.BusyWorkers.Inc()
 				t0 := time.Now()
 				res, err := g.runOne(ctx, env, x)
-				reports[i] = Report{ID: x.ID(), Result: res, Err: err, Duration: time.Since(t0)}
+				d := time.Since(t0)
+				om.BusyWorkers.Dec()
+				om.Durations.With(x.ID()).Observe(d.Seconds())
+				reports[i] = Report{ID: x.ID(), Result: res, Err: err, Duration: d}
 			}
 		}()
 	}
@@ -140,9 +157,14 @@ func (g *Engine) runOne(ctx context.Context, env *experiments.Env, x Experiment)
 		ctx, cancel = context.WithTimeout(ctx, g.Timeout)
 		defer cancel()
 	}
+	om := g.metrics()
 	defer func() {
 		if p := recover(); p != nil {
+			om.Panics.Inc()
 			err = fmt.Errorf("runner: experiment %s panicked: %v", x.ID(), p)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			om.Timeouts.Inc()
 		}
 	}()
 	return x.Run(ctx, env)

@@ -5,6 +5,13 @@
 // ordering follows registration order regardless of parallelism, and each
 // experiment's computation is internally deterministic, so a parallel run's
 // output is byte-identical to the sequential one.
+//
+// The engine is also instrumented live: set Engine.Obs (RunnerMetrics,
+// built on internal/obs) to export per-experiment duration histograms,
+// panic/timeout counters and worker occupancy on a /metrics endpoint.
+// Instrumentation is always on — an engine without an explicit registry
+// counts into a private one — and never touches the output path, so
+// determinism is unaffected. See OBSERVABILITY.md for the catalog.
 package runner
 
 import (

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"homesight/internal/experiments"
+	"homesight/internal/obs"
 )
 
 // fake builds a test experiment from a bare run function.
@@ -137,6 +138,42 @@ func TestEnginePanicContained(t *testing.T) {
 	}
 	if reports[1].Err != nil || reports[1].Result.Text != "ok" {
 		t.Errorf("fine report = %+v", reports[1])
+	}
+}
+
+// TestEngineObsMetrics pins the registry-backed instruments against a
+// run with one success, one contained panic and one deadline overrun.
+func TestEngineObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	exps := []Experiment{
+		fake("ok", func(ctx context.Context) (string, error) { return "ok", nil }),
+		fake("boom", func(ctx context.Context) (string, error) { panic("kaput") }),
+		fake("slow", func(ctx context.Context) (string, error) {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(5 * time.Second):
+				return "never", nil
+			}
+		}),
+	}
+	eng := Engine{Parallelism: 2, Timeout: 20 * time.Millisecond, Obs: NewRunnerMetrics(reg)}
+	if _, _, err := eng.Run(context.Background(), nil, exps); err == nil {
+		t.Fatal("run with a panic and a timeout should error")
+	}
+	if n := eng.Obs.Panics.Value(); n != 1 {
+		t.Errorf("panics = %d, want 1", n)
+	}
+	if n := eng.Obs.Timeouts.Value(); n != 1 {
+		t.Errorf("timeouts = %d, want 1", n)
+	}
+	for _, id := range []string{"ok", "boom", "slow"} {
+		if n := eng.Obs.Durations.With(id).Count(); n != 1 {
+			t.Errorf("duration observations for %s = %d, want 1", id, n)
+		}
+	}
+	if v := eng.Obs.BusyWorkers.Value(); v != 0 {
+		t.Errorf("busy workers after run = %g, want 0", v)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"homesight/internal/gateway"
+	"homesight/internal/obs"
 )
 
 // Collector robustness defaults. Gateways report once a minute, so a few
@@ -47,6 +48,12 @@ type CollectorConfig struct {
 	// MaxConnDrops is the malformed-line budget per connection.
 	// 0 → DefaultMaxConnDrops.
 	MaxConnDrops int
+	// Metrics receives the collector's registry-backed instruments
+	// (queue depth, drops by reason, resyncs, ingest latency). nil → a
+	// private registry, so instrumentation is always on but exported
+	// nowhere. Collectors sharing one IngestMetrics (same registry)
+	// accumulate into shared series, Prometheus-style.
+	Metrics *IngestMetrics
 }
 
 func (cfg CollectorConfig) withDefaults() CollectorConfig {
@@ -61,6 +68,9 @@ func (cfg CollectorConfig) withDefaults() CollectorConfig {
 	}
 	if cfg.MaxConnDrops <= 0 {
 		cfg.MaxConnDrops = DefaultMaxConnDrops
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewIngestMetrics(obs.NewRegistry())
 	}
 	return cfg
 }
@@ -191,9 +201,12 @@ func (c *Collector) serveConn(conn net.Conn) {
 	defer c.wg.Done()
 	c.counters.connsOpened.Add(1)
 	c.counters.activeConns.Add(1)
+	c.cfg.Metrics.Conns.Inc()
+	c.cfg.Metrics.ActiveConns.Inc()
 	defer func() {
 		_ = conn.Close()
 		c.counters.activeConns.Add(-1)
+		c.cfg.Metrics.ActiveConns.Dec()
 		c.mu.Lock()
 		delete(c.conns, conn)
 		c.mu.Unlock()
@@ -206,6 +219,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 		}
 		line, err := readLine(br, c.cfg.MaxLineBytes)
 		if len(line) > 0 && !c.ingestLine(line) {
+			c.cfg.Metrics.Resyncs.Inc()
 			drops++
 			if drops > c.cfg.MaxConnDrops {
 				c.shed(fmt.Errorf("telemetry: closing %v after %d malformed lines", conn.RemoteAddr(), drops))
@@ -252,10 +266,12 @@ func (c *Collector) ingestLine(line []byte) bool {
 	var rep gateway.Report
 	if err := json.Unmarshal(line, &rep); err != nil {
 		c.counters.linesDropped.Add(1)
+		c.cfg.Metrics.DroppedMalformed.Inc()
 		c.shed(fmt.Errorf("telemetry: dropped malformed line (%d bytes): %w", len(line), err))
 		return false
 	}
 	c.queue <- rep
+	c.cfg.Metrics.QueueDepth.Set(float64(len(c.queue)))
 	return true
 }
 
@@ -265,12 +281,18 @@ func (c *Collector) ingestLine(line []byte) bool {
 func (c *Collector) ingestLoop() {
 	defer close(c.ingestDone)
 	for rep := range c.queue {
-		if err := c.store.Ingest(rep); err != nil {
+		c.cfg.Metrics.QueueDepth.Set(float64(len(c.queue)))
+		t0 := time.Now()
+		err := c.store.Ingest(rep)
+		c.cfg.Metrics.Latency.Observe(time.Since(t0).Seconds())
+		if err != nil {
 			c.counters.ingestErrors.Add(1)
+			c.cfg.Metrics.DroppedRejected.Inc()
 			c.shed(err)
 			continue
 		}
 		c.counters.reportsIngested.Add(1)
+		c.cfg.Metrics.Reports.Inc()
 	}
 }
 
@@ -281,6 +303,7 @@ func (c *Collector) shed(err error) {
 	case c.Errs <- err:
 	default:
 		c.counters.errorsShed.Add(1)
+		c.cfg.Metrics.DroppedShed.Inc()
 	}
 }
 

@@ -11,6 +11,10 @@ import (
 
 func TestCollectorConfigDefaults(t *testing.T) {
 	got := CollectorConfig{}.withDefaults()
+	if got.Metrics == nil {
+		t.Error("withDefaults() left Metrics nil; instrumentation must always be on")
+	}
+	got.Metrics = nil
 	want := CollectorConfig{
 		ReadTimeout:  DefaultReadTimeout,
 		QueueSize:    DefaultQueueSize,

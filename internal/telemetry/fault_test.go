@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"homesight/internal/gateway"
+	"homesight/internal/obs"
 	"homesight/internal/telemetry/faultnet"
 )
 
@@ -55,6 +56,7 @@ func buildReports(gatewayID string, days int) []gateway.Report {
 // run against the fault-free reference.
 type pipelineResult struct {
 	ingest   IngestStats
+	metrics  *IngestMetrics // registry-backed instruments of the same run
 	stream   StreamStats
 	reporter ReporterStats
 	motifs   []motifSummary
@@ -76,7 +78,8 @@ func runPipeline(t *testing.T, reps []gateway.Report, gatewayID string, rcfg Rep
 	store := NewStore(mon, time.Minute)
 	sm := &StreamingMotifs{}
 	store.OnReport(sm.Feed)
-	col, err := NewCollector("127.0.0.1:0", store)
+	metrics := NewIngestMetrics(obs.NewRegistry())
+	col, err := NewCollectorConfig("127.0.0.1:0", store, CollectorConfig{Metrics: metrics})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +134,7 @@ func runPipeline(t *testing.T, reps []gateway.Report, gatewayID string, rcfg Rep
 	}
 	sm.Flush()
 
-	res := pipelineResult{ingest: col.Stats(), stream: sm.Stats(), reporter: repStats}
+	res := pipelineResult{ingest: col.Stats(), metrics: metrics, stream: sm.Stats(), reporter: repStats}
 	for _, m := range sm.Motifs() {
 		res.motifs = append(res.motifs, motifSummary{support: m.Support(), gateways: len(m.Gateways())})
 	}
@@ -243,6 +246,52 @@ func TestFaultInjectionPipeline(t *testing.T) {
 	}
 	if got.reporter.Reconnects == 0 || got.reporter.WriteErrors == 0 {
 		t.Errorf("reporter stats did not register faults: %+v", got.reporter)
+	}
+}
+
+// TestFaultIngestMetricsParity pins the exported-metrics contract: under
+// the same faultnet plan as TestFaultInjectionPipeline, every
+// homesight_ingest_* series must match the IngestStats snapshot exactly
+// — the Prometheus view and the programmatic view are one accounting.
+func TestFaultIngestMetricsParity(t *testing.T) {
+	const gw = "gwM"
+	reps := buildReports(gw, 2)
+	got := runPipeline(t, reps, gw, ReporterConfig{DialAttempts: 10}, func(raw net.Conn) net.Conn {
+		return faultnet.Wrap(raw, faultnet.Faults{
+			GarbageEvery:  29,
+			PartialWrites: []int{53},
+		})
+	})
+	st, m := got.ingest, got.metrics
+	if st.LinesDropped == 0 || st.IngestErrors == 0 {
+		t.Fatalf("fault plan fired nothing: %+v", st)
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{`homesight_ingest_dropped_total{reason="malformed"}`, m.DroppedMalformed.Value(), st.LinesDropped},
+		{`homesight_ingest_dropped_total{reason="rejected"}`, m.DroppedRejected.Value(), st.IngestErrors},
+		{`homesight_ingest_dropped_total{reason="shed"}`, m.DroppedShed.Value(), st.ErrorsShed},
+		{"homesight_ingest_reports_total", m.Reports.Value(), st.ReportsIngested},
+		{"homesight_ingest_conns_total", m.Conns.Value(), st.ConnsOpened},
+		{"homesight_ingest_active_conns", int64(m.ActiveConns.Value()), st.ActiveConns},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (IngestStats)", c.name, c.got, c.want)
+		}
+	}
+	// Every dequeued report — ingested or rejected — was timed.
+	if n := m.Latency.Count(); n != st.ReportsIngested+st.IngestErrors {
+		t.Errorf("latency observations = %d, want %d ingested + %d rejected",
+			n, st.ReportsIngested, st.IngestErrors)
+	}
+	// Resyncs are the same events as malformed drops, seen from the
+	// connection reader's side.
+	if m.Resyncs.Value() != st.LinesDropped {
+		t.Errorf("resyncs = %d, want %d malformed drops", m.Resyncs.Value(), st.LinesDropped)
 	}
 }
 

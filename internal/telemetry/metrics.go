@@ -1,36 +1,18 @@
-// Run metrics for the parallel experiment engine: race-safe cache
-// hit/miss counters plus the structured per-run report (wall time,
-// per-experiment durations, goroutine high-water mark) that
-// cmd/experiments emits via the -metrics flag. The report deliberately
-// lives next to the collection pipeline: both describe "what did this
-// deployment cost", one on the wire, one in the process.
+// Run metrics for the parallel experiment engine: the structured per-run
+// report (wall time, per-experiment durations, goroutine high-water
+// mark, cache snapshots) that cmd/experiments emits via the -metrics
+// flag. The live counters behind the cache snapshots are registry-backed
+// obs instruments owned by the experiments Env; this package keeps only
+// the snapshot shapes so the JSON report stays a plain value. The report
+// deliberately lives next to the collection pipeline: both describe
+// "what did this deployment cost", one on the wire, one in the process.
 package telemetry
 
 import (
 	"encoding/json"
 	"io"
 	"sort"
-	"sync"
-	"sync/atomic"
 )
-
-// CacheCounter counts hits and misses of one named cache. All methods are
-// safe for concurrent use.
-type CacheCounter struct {
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-// Hit records a lookup served from the cache.
-func (c *CacheCounter) Hit() { c.hits.Add(1) }
-
-// Miss records a lookup that had to build its value.
-func (c *CacheCounter) Miss() { c.misses.Add(1) }
-
-// Snapshot returns the current counts.
-func (c *CacheCounter) Snapshot() CacheSnapshot {
-	return CacheSnapshot{Hits: c.hits.Load(), Misses: c.misses.Load()}
-}
 
 // CacheSnapshot is a point-in-time view of one cache's counters.
 type CacheSnapshot struct {
@@ -49,43 +31,6 @@ func (s CacheSnapshot) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(n)
-}
-
-// CacheStats is a registry of named cache counters. Counters are created
-// on first use and live for the lifetime of the registry.
-type CacheStats struct {
-	mu       sync.Mutex
-	counters map[string]*CacheCounter
-}
-
-// NewCacheStats returns an empty registry.
-func NewCacheStats() *CacheStats {
-	return &CacheStats{counters: make(map[string]*CacheCounter)}
-}
-
-// Counter returns the counter registered under name, creating it if
-// needed. The returned counter is shared: callers must not assume
-// exclusive ownership.
-func (s *CacheStats) Counter(name string) *CacheCounter {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.counters[name]
-	if c == nil {
-		c = &CacheCounter{}
-		s.counters[name] = c
-	}
-	return c
-}
-
-// Snapshot returns the current counts of every registered counter.
-func (s *CacheStats) Snapshot() map[string]CacheSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]CacheSnapshot, len(s.counters))
-	for name, c := range s.counters {
-		out[name] = c.Snapshot()
-	}
-	return out
 }
 
 // ExperimentMetrics is the per-experiment slice of a run report.

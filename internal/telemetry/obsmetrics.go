@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"homesight/internal/obs"
+)
+
+// Drop reasons, the label values of homesight_ingest_dropped_total. One
+// reason per loss path of the failure-semantics contract (DESIGN.md §7),
+// so the exported counters reconcile against IngestStats field by field.
+const (
+	// DropMalformed: a wire line the resync path skipped (garbage,
+	// truncation, oversize). Mirrors IngestStats.LinesDropped.
+	DropMalformed = "malformed"
+	// DropRejected: a well-formed report the store refused (late
+	// duplicate, pre-anchor timestamp). Mirrors IngestStats.IngestErrors.
+	DropRejected = "rejected"
+	// DropShed: an error dropped because the Errs channel was full.
+	// Mirrors IngestStats.ErrorsShed.
+	DropShed = "shed"
+)
+
+// IngestMetrics is the collector's bundle of registry-backed
+// instruments. It mirrors IngestStats one-for-one (the snapshot struct
+// stays the API for programmatic access; these are the live exported
+// series) and adds the operational signals a snapshot cannot carry:
+// queue depth, stream resyncs and the store-ingest latency distribution.
+//
+// Construct one per registry with NewIngestMetrics and hand it to
+// CollectorConfig.Metrics; several collectors sharing a registry share
+// the instruments, Prometheus-style. A nil CollectorConfig.Metrics gets
+// a private unexported registry, so the counting code path is always on.
+type IngestMetrics struct {
+	// Reports counts reports accepted into the store
+	// (homesight_ingest_reports_total).
+	Reports *obs.Counter
+	// DroppedMalformed / DroppedRejected / DroppedShed are the per-reason
+	// series of homesight_ingest_dropped_total.
+	DroppedMalformed *obs.Counter
+	DroppedRejected  *obs.Counter
+	DroppedShed      *obs.Counter
+	// Resyncs counts malformed-line resyncs: each is one skip-to-next-
+	// newline recovery on a live connection
+	// (homesight_ingest_resyncs_total).
+	Resyncs *obs.Counter
+	// Conns counts every accepted connection
+	// (homesight_ingest_conns_total); ActiveConns is the live gauge
+	// (homesight_ingest_active_conns).
+	Conns       *obs.Counter
+	ActiveConns *obs.Gauge
+	// QueueDepth tracks the bounded ingest queue's occupancy
+	// (homesight_ingest_queue_depth); a full queue is the backpressure
+	// signal of DESIGN.md §7.
+	QueueDepth *obs.Gauge
+	// Latency is the store-ingest duration distribution in seconds
+	// (homesight_ingest_latency_seconds): the time one dequeued report
+	// spends in Store.Ingest, lock wait included.
+	Latency *obs.Histogram
+}
+
+// NewIngestMetrics registers (or re-binds, idempotently) the ingest
+// family on reg.
+func NewIngestMetrics(reg *obs.Registry) *IngestMetrics {
+	dropped := reg.CounterVec("homesight_ingest_dropped_total",
+		"Lost ingest work by reason: malformed wire lines skipped by resync, "+
+			"well-formed reports the store rejected, errors shed off a full Errs channel.",
+		"reason")
+	return &IngestMetrics{
+		Reports: reg.Counter("homesight_ingest_reports_total",
+			"Reports accepted into the store."),
+		DroppedMalformed: dropped.With(DropMalformed),
+		DroppedRejected:  dropped.With(DropRejected),
+		DroppedShed:      dropped.With(DropShed),
+		Resyncs: reg.Counter("homesight_ingest_resyncs_total",
+			"Malformed-line resyncs: stream recoveries that skipped to the next newline."),
+		Conns: reg.Counter("homesight_ingest_conns_total",
+			"Connections accepted since start."),
+		ActiveConns: reg.Gauge("homesight_ingest_active_conns",
+			"Connections currently served."),
+		QueueDepth: reg.Gauge("homesight_ingest_queue_depth",
+			"Reports waiting in the bounded ingest queue."),
+		Latency: reg.Histogram("homesight_ingest_latency_seconds",
+			"Store-ingest duration per report, seconds.", nil),
+	}
+}

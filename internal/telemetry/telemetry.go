@@ -14,6 +14,13 @@
 //     replays a bounded resend buffer across broken pipes (see Reporter);
 //   - the faultnet subpackage injects deterministic connection faults to
 //     test both ends.
+//
+// Every loss path is observable twice over: programmatically through the
+// IngestStats atomics, and as live Prometheus series through IngestMetrics
+// (internal/obs), incremented at the same sites — queue depth, drops by
+// reason, resyncs, connection counts and per-report ingest latency. The
+// fault suite pins the two views to exact equality. See OBSERVABILITY.md
+// for the metric catalog.
 package telemetry
 
 import (

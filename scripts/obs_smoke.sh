@@ -1,0 +1,73 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke test of the observability surface.
+#
+# Starts cmd/experiments on a scaled-down deployment with -debug-addr on
+# a kernel-assigned port, waits for the debug server to announce itself
+# on stderr, curls /healthz and /metrics, and greps the exposition for
+# one representative series from each instrumented layer (ingest,
+# runner, cache). Wired into `make check` via the obs-smoke target.
+#
+# Exits non-zero (and prints the captured log) on any missing endpoint
+# or metric, so a refactor that silently unregisters a family fails CI.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+# A tiny run (-run fig5 keeps it to one experiment) held open long
+# enough to scrape; -hold is the window, generous for slow CI machines.
+$GO run ./cmd/experiments -homes 4 -weeks 2 -run fig5 \
+    -debug-addr 127.0.0.1:0 -hold 60s \
+    >"$TMP/stdout" 2>"$TMP/stderr" &
+PID=$!
+
+# The server logs `msg="debug server listening" ... addr=<host:port>`;
+# poll stderr until the line appears (or the binary died).
+ADDR=
+i=0
+while [ $i -lt 150 ]; do
+    ADDR=$(sed -n 's/.*msg="debug server listening".* addr=\([0-9.:]*\).*/\1/p' "$TMP/stderr" | head -n 1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "obs-smoke: experiments exited before serving" >&2
+        cat "$TMP/stderr" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "obs-smoke: debug server never announced an address" >&2
+    cat "$TMP/stderr" >&2
+    exit 1
+fi
+
+fail() {
+    echo "obs-smoke: $1" >&2
+    cat "$TMP/stderr" >&2
+    exit 1
+}
+
+# /healthz must answer "ok" while the run is live.
+HEALTH=$(curl -fsS --max-time 10 "http://$ADDR/healthz") || fail "/healthz unreachable"
+[ "$HEALTH" = "ok" ] || fail "/healthz said '$HEALTH', want 'ok'"
+
+# /metrics must be valid-enough exposition carrying all three layers.
+curl -fsS --max-time 10 "http://$ADDR/metrics" >"$TMP/metrics" || fail "/metrics unreachable"
+for metric in \
+    homesight_ingest_reports_total \
+    homesight_ingest_dropped_total \
+    homesight_runner_experiment_seconds \
+    homesight_runner_busy_workers \
+    homesight_cache_hits_total \
+    homesight_cache_misses_total; do
+    grep -q "^# TYPE $metric " "$TMP/metrics" || fail "/metrics misses $metric"
+done
+
+# pprof rides on the same mux.
+curl -fsS --max-time 10 "http://$ADDR/debug/pprof/cmdline" >/dev/null || fail "pprof unreachable"
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+echo "obs-smoke: /healthz, /metrics (ingest+runner+cache) and pprof all served at $ADDR"
