@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet lint bench bench-build test-faults obs-smoke check
+.PHONY: build test race vet lint bench bench-build bench-store test-faults fuzz-smoke obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -14,7 +15,7 @@ race: ## full test suite under the race detector
 vet: ## stock go vet
 	$(GO) vet ./...
 
-lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, naked-goroutine, bare-alpha, zero-sentinel, printf-log)
+lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, unchecked-close, naked-goroutine, bare-alpha, zero-sentinel, printf-log)
 	$(GO) run ./cmd/homesight-vet ./...
 
 test-faults: ## deterministic fault-injection suite for the collection pipeline, under -race
@@ -27,8 +28,15 @@ bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit r
 bench-build: ## compile the benchmark harness without running it (check smoke)
 	$(GO) test -c -o /dev/null .
 
+bench-store: ## store append/select/compression benchmarks; writes BENCH_store.json
+	HOMESIGHT_BENCH_STORE_JSON=$(abspath BENCH_store.json) $(GO) test -run TestBenchStoreJSON -count=1 ./internal/store
+
+fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codec and WAL replay
+	$(GO) test -run NONE -fuzz '^FuzzBlockCodec$$' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run NONE -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/store
+
 obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
-check: vet race lint test-faults bench-build obs-smoke ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke + obs smoke
+check: vet race lint test-faults bench-build bench-store fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke + store bench + fuzz smoke + obs smoke
 	@echo "check: all gates passed"

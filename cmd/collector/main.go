@@ -15,6 +15,12 @@
 // -debug-addr serves live observability (Prometheus /metrics, /healthz,
 // /debug/pprof) alongside the ingest listener; the homesight_ingest_*
 // series mirror telemetry.IngestStats exactly. See OBSERVABILITY.md.
+//
+// -data-dir persists every ingested report to a homestore directory
+// (internal/store): a WAL-backed, compressed time-series store that
+// survives process crashes. Inspect it with cmd/homestore; the fsync
+// policy is selected by -fsync (interval, always, never). See
+// STORAGE.md.
 package main
 
 import (
@@ -28,9 +34,23 @@ import (
 	"homesight/internal/gateway"
 	"homesight/internal/obs"
 	"homesight/internal/obs/slogx"
+	homestore "homesight/internal/store"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
 )
+
+// parseSyncPolicy maps the -fsync flag vocabulary onto store.SyncPolicy.
+func parseSyncPolicy(s string) (homestore.SyncPolicy, error) {
+	switch s {
+	case "interval":
+		return homestore.SyncInterval, nil
+	case "always":
+		return homestore.SyncAlways, nil
+	case "never":
+		return homestore.SyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want interval, always or never)", s)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
@@ -46,6 +66,10 @@ func main() {
 		`demo: write ingest accounting as JSON to this path ("-" = stderr)`)
 	debugAddr := flag.String("debug-addr", "",
 		"serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	dataDir := flag.String("data-dir", "",
+		"persist ingested reports to this homestore directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval",
+		"homestore WAL fsync policy: interval, always, never")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -62,7 +86,6 @@ func main() {
 
 	store := telemetry.NewStore(cfg.Start, time.Minute)
 	streaming := &telemetry.StreamingMotifs{}
-	store.OnReport(streaming.Feed)
 
 	reg := obs.NewRegistry()
 	if *debugAddr != "" {
@@ -70,8 +93,55 @@ func main() {
 		if err != nil {
 			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
 		}
-		defer func() { _ = srv.Close() }() // best-effort shutdown at exit
+		defer func() { _ = srv.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at exit
 		logger.Info("debug server listening", "addr", srv.Addr())
+	}
+
+	// The ingest store takes a single callback, so persistence composes
+	// with the streaming stage in one closure: both observe every
+	// successfully ingested report, in order.
+	var persist *homestore.Store
+	if *dataDir != "" {
+		policy, err := parseSyncPolicy(*fsync)
+		if err != nil {
+			logger.Fatal("bad flag", "flag", "fsync", "err", err)
+		}
+		persist, err = homestore.Open(homestore.Config{
+			Dir:     *dataDir,
+			Start:   cfg.Start,
+			Step:    time.Minute,
+			Sync:    policy,
+			Metrics: homestore.NewMetrics(reg),
+		})
+		if err != nil {
+			logger.Fatal("store open failed", "dir", *dataDir, "err", err)
+		}
+		st := persist.Stats()
+		logger.Info("persisting reports", "dir", *dataDir, "fsync", *fsync,
+			"recovered_points", st.Points, "segments", st.Segments)
+	}
+	closeStore := func() {
+		if persist == nil {
+			return
+		}
+		st := persist.Stats()
+		if err := persist.Close(); err != nil {
+			logger.Error("store close failed", "err", err)
+			return
+		}
+		logger.Info("store closed", "reports", st.Reports, "points", st.Points,
+			"segments", st.Segments, "compression", st.Compression)
+	}
+	switch {
+	case persist != nil:
+		store.OnReport(func(rep gateway.Report) {
+			streaming.Feed(rep)
+			if err := persist.Append(rep); err != nil {
+				logger.Error("store append failed", "gateway", rep.GatewayID, "err", err)
+			}
+		})
+	default:
+		store.OnReport(streaming.Feed)
 	}
 
 	col, err := telemetry.NewCollectorConfig(*addr, store, telemetry.CollectorConfig{
@@ -82,7 +152,7 @@ func main() {
 	if err != nil {
 		logger.Fatal("listen failed", "addr", *addr, "err", err)
 	}
-	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
+	defer func() { _ = col.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at process exit
 	logger.Info("listening", "addr", col.Addr())
 
 	if !*demo {
@@ -95,6 +165,7 @@ func main() {
 		logger.Info("ingest accounting",
 			"reports", st.ReportsIngested, "dropped", st.LinesDropped,
 			"rejected", st.IngestErrors, "shed", st.ErrorsShed)
+		closeStore()
 		return
 	}
 
@@ -130,6 +201,7 @@ func main() {
 		logger.Fatal("drain failed", "err", err)
 	}
 	streaming.Flush()
+	closeStore()
 
 	stats := col.Stats()
 	fmt.Printf("ingest: %d reports, %d lines dropped, %d rejected, %d errors shed, %d conns\n",
@@ -170,7 +242,7 @@ func writeMetrics(path string, stats telemetry.IngestStats) error {
 		return err
 	}
 	if err := m.WriteJSON(f); err != nil {
-		_ = f.Close() // write error wins
+		_ = f.Close() //homesight:ignore unchecked-close — write error wins
 		return err
 	}
 	return f.Close()
@@ -203,7 +275,7 @@ func replayHome(addr string, dep *synth.Deployment, i int) error {
 			continue
 		}
 		if err := rep.Send(r); err != nil {
-			_ = rep.Close() // send error wins
+			_ = rep.Close() //homesight:ignore unchecked-close — send error wins
 			return err
 		}
 	}

@@ -16,6 +16,11 @@
 // /debug/pprof) while the run executes; -hold keeps that server up after
 // the experiments finish so a scraper or profiler can attach to a short
 // run. See OBSERVABILITY.md for the metric catalog.
+//
+// -data-dir points the Env at a homestore directory written by the
+// collector: gateways present in the store are analysed from the
+// persisted reports (the measurement path), the rest stay synthetic.
+// See STORAGE.md.
 package main
 
 import (
@@ -47,6 +52,8 @@ func main() {
 		"serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:8081; empty = off)")
 	hold := flag.Duration("hold", 0,
 		"keep the -debug-addr server up this long after the run (0 = exit immediately)")
+	dataDir := flag.String("data-dir", "",
+		"load persisted gateway series from this homestore directory (empty = fully synthetic)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -67,7 +74,7 @@ func main() {
 		if err != nil {
 			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
 		}
-		defer func() { _ = srv.Close() }() // best-effort shutdown at exit
+		defer func() { _ = srv.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at exit
 		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
@@ -80,9 +87,27 @@ func main() {
 	if *seed != 0 {
 		opts = append(opts, experiments.WithSeed(*seed))
 	}
+	if *dataDir != "" {
+		opts = append(opts, experiments.WithStore(*dataDir))
+	}
 	env, err := experiments.NewEnv(opts...)
 	if err != nil {
 		logger.Fatal("env setup failed", "err", err)
+	}
+	defer func() {
+		if err := env.Close(); err != nil {
+			logger.Error("env close failed", "err", err)
+		}
+	}()
+	if st := env.Store(); st != nil {
+		backed := 0
+		for i := 0; i < env.Dep.NumHomes(); i++ {
+			if env.StoreBacked(i) {
+				backed++
+			}
+		}
+		logger.Info("store attached", "dir", *dataDir,
+			"gateways", len(st.Gateways()), "homes_backed", backed)
 	}
 
 	var results experiments.Results
@@ -158,7 +183,7 @@ func writeMetrics(path string, m telemetry.RunMetrics) error {
 		return err
 	}
 	if err := m.WriteJSON(f); err != nil {
-		_ = f.Close()
+		_ = f.Close() //homesight:ignore unchecked-close — write error wins
 		return err
 	}
 	return f.Close()

@@ -101,7 +101,7 @@ func writeGateway(path string, g *dataset.Gateway) error {
 		return err
 	}
 	if err := dataset.WriteCSV(f, g); err != nil {
-		_ = f.Close() // write error wins
+		_ = f.Close() //homesight:ignore unchecked-close — write error wins
 		return err
 	}
 	return f.Close()

@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		logger.Fatal("listen failed", "err", err)
 	}
-	defer func() { _ = col.Close() }() // best-effort shutdown at process exit
+	defer func() { _ = col.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at process exit
 	logger.Info("collector listening", "addr", col.Addr(),
 		"gateways", cfg.Homes, "weeks", cfg.Weeks)
 
@@ -90,7 +90,7 @@ func stream(addr string, dep *synth.Deployment, i int) error {
 			continue
 		}
 		if err := rep.Send(r); err != nil {
-			_ = rep.Close() // send error wins
+			_ = rep.Close() //homesight:ignore unchecked-close — send error wins
 			return err
 		}
 	}

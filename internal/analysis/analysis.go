@@ -95,6 +95,7 @@ func All() []*Analyzer {
 		BareAlpha,
 		ZeroSentinel,
 		PrintfLog,
+		UncheckedClose,
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules

@@ -1,0 +1,46 @@
+// Package fixture exercises the unchecked-close rule: blank-assigning
+// an io.Closer's Close error hides buffered-write failures; it must be
+// checked or carry an ignore directive with a rationale.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+// closerish has the io.Closer shape without naming the interface.
+type closerish struct{}
+
+func (closerish) Close() error { return nil }
+
+// loudClose does not match: Close with a parameter is not io.Closer.
+type loudClose struct{}
+
+func (loudClose) Close(force bool) error { return nil }
+
+// quietClose does not match: no error result to discard.
+type quietClose struct{}
+
+func (quietClose) Close() {}
+
+func Close() error { return nil } // package-level, no receiver
+
+func discards(f *os.File, c closerish) {
+	_ = f.Close() // want `error from f\.Close is discarded`
+	_ = c.Close() // want `error from c\.Close is discarded`
+	defer func() {
+		_ = f.Close() // want `error from f\.Close is discarded`
+	}()
+}
+
+func fine(f *os.File, l loudClose, q quietClose, c closerish) {
+	if err := f.Close(); err != nil { // checked: no finding
+		fmt.Println(err)
+	}
+	err := f.Close() // captured, not blanked: no finding
+	_ = err
+	_ = l.Close(true) // Close(bool) is not io.Closer: no finding
+	q.Close()         // no error result: no finding
+	_ = Close()       // no receiver: not a Close method
+	_ = c.Close()     //homesight:ignore unchecked-close — fixture: deliberate best-effort close
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedClose flags `_ = x.Close()` in production code: blank-
+// assigning an io.Closer's error looks deliberate enough to satisfy the
+// dropped-err rule, but on writable resources (files, WALs, sockets) the
+// close error is where buffered write failures finally surface, and the
+// repo's persistence layer treats a swallowed Close as data loss. A
+// genuinely best-effort close must say why with
+// //homesight:ignore unchecked-close — rationale. Test files are not
+// loaded by the analyzer, so cleanup shorthand in tests stays free.
+var UncheckedClose = &Analyzer{
+	Name: "unchecked-close",
+	Doc: "the error of a blank-assigned (io.Closer).Close is discarded; check it " +
+		"or annotate //homesight:ignore unchecked-close with a rationale",
+	Run: runUncheckedClose,
+}
+
+func runUncheckedClose(pass *Pass) {
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		if id, ok := asg.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		// The io.Closer shape: Close() error, nothing else.
+		errType := types.Universe.Lookup("error").Type()
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 ||
+			!types.Identical(sig.Results().At(0).Type(), errType) {
+			return true
+		}
+		pass.Reportf(asg.Pos(),
+			"error from %s is discarded; check it or annotate //homesight:ignore unchecked-close",
+			calleeName(call))
+		return true
+	})
+}

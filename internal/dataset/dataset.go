@@ -150,53 +150,91 @@ func formatBytes(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
+// Row is one device-minute observation as serialized by WriteCSV. In and
+// Out are NaN when the corresponding field is empty (unobserved).
+type Row struct {
+	Minute    int
+	MAC, Name string
+	Type      devices.Type
+	In, Out   float64
+}
+
+// ScanCSV streams WriteCSV output row by row into fn without
+// materializing any series — the constant-memory primitive under
+// ReadCSV, usable directly when a consumer only needs a single pass
+// (totals, filters, format conversion). n bounds the minute index; a
+// row at or past it is rejected. An error from fn aborts the scan.
+//
+// Rows with an empty type column — the homestore `export` format, whose
+// wire reports carry only MAC and name — get their type re-inferred
+// with devices.Classify, so both cmd/homesim and cmd/homestore exports
+// parse into identical records.
+func ScanCSV(r io.Reader, n int, fn func(Row) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return fmt.Errorf("dataset: unexpected header %v", header)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		var row Row
+		m, err := strconv.Atoi(rec[0])
+		if err != nil || m < 0 || m >= n {
+			return fmt.Errorf("dataset: bad minute index %q", rec[0])
+		}
+		row.Minute = m
+		row.MAC, row.Name = rec[2], rec[3]
+		if rec[4] == "" {
+			row.Type = devices.Classify(row.MAC, row.Name)
+		} else {
+			row.Type = devices.Type(rec[4])
+		}
+		if row.In, err = parseBytes(rec[5]); err != nil {
+			return err
+		}
+		if row.Out, err = parseBytes(rec[6]); err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
 // ReadCSV reconstructs a gateway from WriteCSV output. The id is not part
 // of the CSV and must be supplied; n is the expected series length in
 // minutes (rows beyond it are rejected).
 func ReadCSV(r io.Reader, id string, start time.Time, n int) (*Gateway, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading header: %w", err)
-	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("dataset: unexpected header %v", header)
-	}
 	g := &Gateway{ID: id}
 	byMAC := make(map[string]int)
-	for {
-		row, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		m, err := strconv.Atoi(row[0])
-		if err != nil || m < 0 || m >= n {
-			return nil, fmt.Errorf("dataset: bad minute index %q", row[0])
-		}
-		mac := row[2]
-		idx, ok := byMAC[mac]
+	err := ScanCSV(r, n, func(row Row) error {
+		idx, ok := byMAC[row.MAC]
 		if !ok {
 			idx = len(g.Devices)
-			byMAC[mac] = idx
+			byMAC[row.MAC] = idx
 			g.Devices = append(g.Devices, DeviceRecord{
-				Device: devices.Device{
-					MAC: mac, Name: row[3],
-					Inferred: devices.Type(row[4]),
-				},
-				In:  nanSeries(start, n),
-				Out: nanSeries(start, n),
+				Device: devices.Device{MAC: row.MAC, Name: row.Name, Inferred: row.Type},
+				In:     nanSeries(start, n),
+				Out:    nanSeries(start, n),
 			})
 		}
 		dr := g.Devices[idx]
-		if dr.In.Values[m], err = parseBytes(row[5]); err != nil {
-			return nil, err
-		}
-		if dr.Out.Values[m], err = parseBytes(row[6]); err != nil {
-			return nil, err
-		}
+		dr.In.Values[row.Minute] = row.In
+		dr.Out.Values[row.Minute] = row.Out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	g.Overall = rebuildOverall(g, start, n)
 	return g, nil
@@ -225,14 +263,21 @@ func rebuildOverall(g *Gateway, start time.Time, n int) *timeseries.Series {
 	}
 	for _, dr := range g.Devices {
 		for m := 0; m < n; m++ {
-			iv := dr.In.Values[m]
-			if math.IsNaN(iv) {
+			iv, ov := dr.In.Values[m], dr.Out.Values[m]
+			if math.IsNaN(iv) && math.IsNaN(ov) {
 				continue
 			}
+			// A half-observed row (one direction empty) still counts the
+			// observed direction instead of poisoning the minute with NaN.
 			if math.IsNaN(vals[m]) {
 				vals[m] = 0
 			}
-			vals[m] += iv + dr.Out.Values[m]
+			if !math.IsNaN(iv) {
+				vals[m] += iv
+			}
+			if !math.IsNaN(ov) {
+				vals[m] += ov
+			}
 		}
 	}
 	return timeseries.New(start, time.Minute, vals)

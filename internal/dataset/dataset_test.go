@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"homesight/internal/devices"
 	"homesight/internal/synth"
 	"homesight/internal/timeseries"
 )
@@ -131,6 +133,66 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestScanCSVStreams pins the streaming contract: rows arrive in file
+// order without materializing series, fn errors abort the scan, and an
+// empty type column is re-inferred with devices.Classify — the
+// homestore export format, whose wire reports never carried a type.
+func TestScanCSVStreams(t *testing.T) {
+	csv := "minute,timestamp,mac,name,type,in_bytes,out_bytes\n" +
+		"0,x,aa:bb,Chromecast,,5,1\n" +
+		"2,x,aa:bb,Chromecast,,7,\n" +
+		"3,x,cc:dd,thing,tv,2,2\n"
+	var rows []Row
+	if err := ScanCSV(strings.NewReader(csv), 10, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("scanned %d rows, want 3", len(rows))
+	}
+	if rows[0].Minute != 0 || rows[1].Minute != 2 || rows[2].Minute != 3 {
+		t.Fatalf("minutes out of order: %+v", rows)
+	}
+	if want := devices.Classify("aa:bb", "Chromecast"); rows[0].Type != want {
+		t.Errorf("empty type column: got %q, want Classify result %q", rows[0].Type, want)
+	}
+	if rows[2].Type != devices.Type("tv") {
+		t.Errorf("explicit type column overridden: got %q", rows[2].Type)
+	}
+	if !math.IsNaN(rows[1].Out) || rows[1].In != 7 {
+		t.Errorf("half-observed row parsed as %+v", rows[1])
+	}
+	// fn errors abort the scan.
+	n := 0
+	stop := fmt.Errorf("stop")
+	err := ScanCSV(strings.NewReader(csv), 10, func(Row) error {
+		n++
+		return stop
+	})
+	if err != stop || n != 1 {
+		t.Errorf("fn error: err=%v after %d rows, want stop after 1", err, n)
+	}
+}
+
+// TestRebuildOverallHalfObserved: a minute where only one direction was
+// observed contributes the observed direction instead of going NaN.
+func TestRebuildOverallHalfObserved(t *testing.T) {
+	csv := "minute,timestamp,mac,name,type,in_bytes,out_bytes\n" +
+		"0,x,aa:bb,d,tv,5,\n"
+	g, err := ReadCSV(strings.NewReader(csv), "gw", mon, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Overall.Values[0] != 5 {
+		t.Errorf("overall[0] = %v, want 5", g.Overall.Values[0])
+	}
+	if !math.IsNaN(g.Overall.Values[1]) {
+		t.Errorf("overall[1] = %v, want NaN", g.Overall.Values[1])
+	}
+}
+
 func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader(""), "gw", mon, 10); err == nil {
 		t.Error("empty input should fail")
@@ -232,6 +294,26 @@ func TestLoadDirRoundTrip(t *testing.T) {
 	}
 	if len(ids) != 3 || ids[0] != "gw000" {
 		t.Errorf("ids = %v", ids)
+	}
+
+	// ForEachGateway streams the same homes in manifest order, and fn
+	// errors abort the walk.
+	var seen []string
+	if _, err := ForEachGateway(dir, func(mh ManifestHome, g *Gateway) error {
+		if mh.ID != g.ID {
+			t.Fatalf("manifest home %s paired with gateway %s", mh.ID, g.ID)
+		}
+		seen = append(seen, g.ID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != "gw000" || seen[2] != "gw002" {
+		t.Errorf("streamed %v", seen)
+	}
+	stop := fmt.Errorf("stop")
+	if _, err := ForEachGateway(dir, func(ManifestHome, *Gateway) error { return stop }); err != stop {
+		t.Errorf("fn error not propagated: %v", err)
 	}
 }
 

@@ -32,24 +32,44 @@ type ManifestHome struct {
 	Devices     int    `json:"devices"`
 }
 
-// LoadDir reads a deployment exported by cmd/homesim: deployment.json plus
-// one <id>.csv per gateway. It returns the gateways in manifest order.
+// LoadDir reads a deployment exported by cmd/homesim or `homestore
+// export`: deployment.json plus one <id>.csv per gateway. It returns
+// the gateways in manifest order. For deployments too large to hold in
+// memory at once, use ForEachGateway instead.
 func LoadDir(dir string) (*Manifest, []*Gateway, error) {
-	man, err := LoadManifest(filepath.Join(dir, "deployment.json"))
+	var gateways []*Gateway
+	man, err := ForEachGateway(dir, func(_ ManifestHome, g *Gateway) error {
+		gateways = append(gateways, g)
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
+	return man, gateways, nil
+}
+
+// ForEachGateway streams a deployment one gateway at a time, in manifest
+// order: fn receives each manifest home together with its fully loaded
+// Gateway, and nothing else is retained between calls — memory stays
+// bounded by the largest single gateway, however many homes the export
+// holds. An error from fn aborts the walk.
+func ForEachGateway(dir string, fn func(mh ManifestHome, g *Gateway) error) (*Manifest, error) {
+	man, err := LoadManifest(filepath.Join(dir, "deployment.json"))
+	if err != nil {
+		return nil, err
+	}
 	minutes := man.Config.Weeks * 7 * 24 * 60
-	var gateways []*Gateway
 	for _, mh := range man.Homes {
 		g, err := LoadGatewayCSV(filepath.Join(dir, mh.ID+".csv"), mh.ID, man.Config.Start, minutes)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dataset: loading %s: %w", mh.ID, err)
+			return nil, fmt.Errorf("dataset: loading %s: %w", mh.ID, err)
 		}
 		g.Residents = mh.Residents
-		gateways = append(gateways, g)
+		if err := fn(mh, g); err != nil {
+			return nil, err
+		}
 	}
-	return man, gateways, nil
+	return man, nil
 }
 
 // LoadManifest reads and validates a deployment manifest.
@@ -58,7 +78,7 @@ func LoadManifest(path string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = f.Close() }() // read-only
+	defer func() { _ = f.Close() }() //homesight:ignore unchecked-close — read-only
 	var man Manifest
 	if err := json.NewDecoder(f).Decode(&man); err != nil {
 		return nil, fmt.Errorf("dataset: parsing manifest: %w", err)
@@ -78,7 +98,7 @@ func LoadGatewayCSV(path, id string, start time.Time, minutes int) (*Gateway, er
 	if err != nil {
 		return nil, err
 	}
-	defer func() { _ = f.Close() }() // read-only
+	defer func() { _ = f.Close() }() //homesight:ignore unchecked-close — read-only
 	return ReadCSV(f, id, start, minutes)
 }
 

@@ -21,6 +21,7 @@ import (
 	"homesight/internal/dataset"
 	"homesight/internal/dominance"
 	"homesight/internal/obs"
+	"homesight/internal/store"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
 	"homesight/internal/timeseries"
@@ -56,6 +57,12 @@ type Env struct {
 	pairs  *memo[int, []corrsim.Detail]
 	doms   *memo[int, dominance.Result]
 	taus   *memo[tauKey, background.Threshold]
+
+	// Store backing (WithStore): homes whose gateway the store holds read
+	// their series from disk; the rest stay synthetic. See env_store.go.
+	store    *store.Store
+	storeGWs map[string]bool
+	storeSer *memo[int, storeHome]
 }
 
 // gatewayCache holds the per-home aggregate artifacts shared by the
@@ -97,6 +104,7 @@ type envConfig struct {
 	synth       synth.Config
 	parallelism int
 	registry    *obs.Registry
+	storeDir    string
 }
 
 // WithHomes sets the number of gateways (paper: 196); n must be >= 1.
@@ -205,6 +213,11 @@ func NewEnv(opts ...Option) (*Env, error) {
 	e.pairs = newMemo[int, []corrsim.Detail](e.newCache("pair-similarity"))
 	e.doms = newMemo[int, dominance.Result](e.newCache("dominance"))
 	e.taus = newMemo[tauKey, background.Threshold](e.newCache("background-threshold"))
+	if cfg.storeDir != "" {
+		if err := e.openStore(cfg.storeDir); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -343,8 +356,14 @@ func (e *Env) ensureGateways() {
 				residents: h.Residents,
 				surveyed:  i < e.SurveyHomes,
 				archetype: h.Archetype,
-				raw:       h.Overall(),
-				active:    e.activeOverall(i, h),
+			}
+			if e.storeBacked(h.ID) {
+				sh := e.storeHomeFor(i)
+				gc.raw = sh.overall
+				gc.active = e.storeActiveOverall(i, sh)
+			} else {
+				gc.raw = h.Overall()
+				gc.active = e.activeOverall(i, h)
 			}
 			gc.weeklyCoverageMain = dataset.HasWeeklyCoverage(gc.raw, e.WeeksMain)
 			gc.weeklyCoverageMotif = dataset.HasWeeklyCoverage(gc.raw, e.WeeksWeeklyMotif)
@@ -425,6 +444,9 @@ func activeOverall(h *synth.Home, threshold func(dev int, dt *synth.DeviceTraffi
 func (e *Env) DeviceSeries(i int) (*timeseries.Series, []dominance.DeviceSeries) {
 	hs := e.series.get(i, func() homeSeries {
 		h := e.Home(i)
+		if e.storeBacked(h.ID) {
+			return e.storeHomeSeries(i)
+		}
 		days := e.WeeksMain * 7
 		gw := truncate(h.Overall(), days)
 		devs := make([]dominance.DeviceSeries, 0, len(h.Devices))

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Point is one sample of a series: a timestamp (Unix seconds — reports
+// arrive on a minute grid, so sub-second precision buys nothing) and the
+// raw cumulative counter value as reported by the gateway. The store
+// keeps counters, not deltas: differencing (and counter-wrap handling)
+// happens at read time through gateway.Meter, exactly as the live
+// telemetry path does.
+type Point struct {
+	Ts  int64
+	Val uint64
+}
+
+// maxBlockPoints bounds the declared point count of one block. Blocks
+// are written with at most Config.BlockPoints (default 1024) points, so
+// anything past this is a corrupt or adversarial header, rejected before
+// allocation.
+const maxBlockPoints = 1 << 20
+
+// encodeBlock appends the block encoding of pts to dst and returns the
+// extended slice. Layout, all varints:
+//
+//	uvarint  count
+//	varint   ts[0]            (zigzag)
+//	uvarint  val[0]
+//	varint   tsDelta[1]       (zigzag: ts[1]-ts[0])
+//	varint   valDelta[1]      (zigzag, wrapping: val[1]-val[0])
+//	then per point i >= 2:
+//	varint   tsDoD[i]         (zigzag: tsDelta[i]-tsDelta[i-1])
+//	varint   valDoD[i]        (zigzag: valDelta[i]-valDelta[i-1])
+//
+// Delta-of-delta exploits the workload's shape twice over: the minute
+// cadence makes timestamp DoDs almost always zero (one byte), and the
+// cumulative counters of a device with steady traffic have near-constant
+// deltas, so their DoDs are tiny too. All arithmetic wraps, so any
+// int64/uint64 input round-trips exactly.
+func encodeBlock(dst []byte, pts []Point) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pts)))
+	if len(pts) == 0 {
+		return dst
+	}
+	dst = binary.AppendVarint(dst, pts[0].Ts)
+	dst = binary.AppendUvarint(dst, pts[0].Val)
+	var prevTsD int64
+	var prevValD int64
+	for i := 1; i < len(pts); i++ {
+		tsD := pts[i].Ts - pts[i-1].Ts
+		valD := int64(pts[i].Val - pts[i-1].Val) // wrapping
+		if i == 1 {
+			dst = binary.AppendVarint(dst, tsD)
+			dst = binary.AppendVarint(dst, valD)
+		} else {
+			dst = binary.AppendVarint(dst, tsD-prevTsD)
+			dst = binary.AppendVarint(dst, valD-prevValD)
+		}
+		prevTsD, prevValD = tsD, valD
+	}
+	return dst
+}
+
+// decodeBlock decodes one block, appending into dst (pass nil to
+// allocate). It rejects trailing garbage, truncated streams and
+// implausible headers; it never panics on arbitrary input (the
+// FuzzBlockCodec target pins this).
+func decodeBlock(dst []Point, data []byte) ([]Point, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: block header: bad count varint")
+	}
+	data = data[n:]
+	if count > maxBlockPoints {
+		return nil, fmt.Errorf("store: block declares %d points (max %d)", count, maxBlockPoints)
+	}
+	// Every point past the first two costs at least two bytes; bound the
+	// allocation by what the payload could possibly hold.
+	if count > uint64(len(data))+2 {
+		return nil, fmt.Errorf("store: block declares %d points in %d bytes", count, len(data))
+	}
+	if count == 0 {
+		if len(data) != 0 {
+			return nil, fmt.Errorf("store: empty block carries %d trailing bytes", len(data))
+		}
+		return dst, nil
+	}
+	if cap(dst)-len(dst) < int(count) {
+		grown := make([]Point, len(dst), len(dst)+int(count))
+		copy(grown, dst)
+		dst = grown
+	}
+	ts, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: block: bad first timestamp")
+	}
+	data = data[n:]
+	val, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: block: bad first value")
+	}
+	data = data[n:]
+	dst = append(dst, Point{Ts: ts, Val: val})
+	var tsD, valD int64
+	for i := uint64(1); i < count; i++ {
+		d1, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: block truncated at point %d (timestamp)", i)
+		}
+		data = data[n:]
+		d2, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: block truncated at point %d (value)", i)
+		}
+		data = data[n:]
+		if i == 1 {
+			tsD, valD = d1, d2
+		} else {
+			tsD += d1
+			valD += d2
+		}
+		ts += tsD
+		val += uint64(valD) // wrapping, mirrors encode
+		dst = append(dst, Point{Ts: ts, Val: val})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("store: block carries %d trailing bytes", len(data))
+	}
+	return dst, nil
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func pointsEqual(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	cases := map[string][]Point{
+		"empty":  {},
+		"single": {{Ts: 1395014400, Val: 12345}},
+		"minute grid, constant rate": {
+			{Ts: 1395014400, Val: 1000}, {Ts: 1395014460, Val: 2000},
+			{Ts: 1395014520, Val: 3000}, {Ts: 1395014580, Val: 4000},
+		},
+		"gaps and wraps": {
+			{Ts: 0, Val: math.MaxUint64 - 5}, {Ts: 60, Val: 3},
+			{Ts: 600, Val: 1}, {Ts: 601, Val: 0},
+		},
+		"negative timestamps": {
+			{Ts: -7200, Val: 9}, {Ts: -3600, Val: 8}, {Ts: 0, Val: 7},
+		},
+		"extremes": {
+			{Ts: math.MinInt64, Val: 0}, {Ts: math.MaxInt64, Val: math.MaxUint64},
+		},
+	}
+	for name, pts := range cases {
+		enc := encodeBlock(nil, pts)
+		dec, err := decodeBlock(nil, enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !pointsEqual(pts, dec) {
+			t.Fatalf("%s: round trip mismatch:\n in  %v\n out %v", name, pts, dec)
+		}
+	}
+}
+
+func TestBlockCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		pts := make([]Point, n)
+		ts := rng.Int63n(1 << 40)
+		val := rng.Uint64()
+		for i := range pts {
+			ts += rng.Int63n(1 << 20) // any non-negative stride, not just minutes
+			val += uint64(rng.Int63n(1 << 30))
+			pts[i] = Point{Ts: ts, Val: val}
+		}
+		enc := encodeBlock(nil, pts)
+		dec, err := decodeBlock(nil, enc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !pointsEqual(pts, dec) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestBlockCodecRejectsCorruption(t *testing.T) {
+	pts := []Point{
+		{Ts: 1395014400, Val: 10}, {Ts: 1395014460, Val: 250},
+		{Ts: 1395014520, Val: 251},
+	}
+	enc := encodeBlock(nil, pts)
+
+	// Every truncation of a valid block must error, not panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := decodeBlock(nil, enc[:i]); err == nil {
+			t.Errorf("truncation to %d bytes decoded successfully", i)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := decodeBlock(nil, append(append([]byte(nil), enc...), 0xff)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Implausible declared count is rejected before allocation.
+	huge := encodeBlock(nil, nil)
+	huge[0] = 0xff // count varint continues into nothing
+	if _, err := decodeBlock(nil, huge); err == nil {
+		t.Error("dangling count varint accepted")
+	}
+}
+
+func TestBlockCodecCompressesMinuteGrid(t *testing.T) {
+	// A steady device on the minute grid: constant timestamp deltas and
+	// near-constant counter deltas. This is the shape the DoD encoding is
+	// built for; it must land well beyond the 5x acceptance bar.
+	pts := make([]Point, 1024)
+	ts, val := int64(1395014400), uint64(1e9)
+	for i := range pts {
+		ts += 60
+		val += 120 + uint64(i%3)
+		pts[i] = Point{Ts: ts, Val: val}
+	}
+	enc := encodeBlock(nil, pts)
+	raw := len(pts) * 16
+	if ratio := float64(raw) / float64(len(enc)); ratio < 6 {
+		t.Fatalf("minute-grid compression %.1fx, want >= 6x (%d -> %d bytes)", ratio, raw, len(enc))
+	}
+}

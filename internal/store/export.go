@@ -1,0 +1,101 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"homesight/internal/dataset"
+	"homesight/internal/devices"
+)
+
+// minutesPerWeek is the dataset campaign granularity.
+const minutesPerWeek = 7 * 24 * 60
+
+// Export writes the store's contents as a dataset directory —
+// deployment.json plus one <gateway>.csv per gateway, the cmd/homesim
+// format — so stored traces round-trip into the analysis pipeline via
+// dataset.LoadDir. Device types are not stored (the wire reports carry
+// only MAC and name), so they are re-inferred with devices.Classify,
+// exactly as the ingest-side analyses do. The campaign length is the
+// smallest whole number of weeks covering the newest stored sample.
+func (s *Store) Export(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	minutes := s.campaignMinutes()
+	if minutes == 0 {
+		return fmt.Errorf("store: nothing to export")
+	}
+	gws := s.Gateways()
+	var man dataset.Manifest
+	man.Config.Homes = len(gws)
+	man.Config.Start = s.cfg.Start
+	man.Config.Weeks = (minutes + minutesPerWeek - 1) / minutesPerWeek
+	n := man.Config.Weeks * minutesPerWeek
+
+	for _, gw := range gws {
+		g := &dataset.Gateway{ID: gw}
+		for _, mac := range s.Devices(gw) {
+			in, out, err := s.DeviceSeries(gw, mac, n)
+			if err != nil {
+				return err
+			}
+			if in == nil {
+				continue // cataloged but no samples survived
+			}
+			name := s.DeviceName(gw, mac)
+			g.Devices = append(g.Devices, dataset.DeviceRecord{
+				Device: devices.Device{
+					MAC:      mac,
+					Name:     name,
+					Inferred: devices.Classify(mac, name),
+				},
+				In:  in,
+				Out: out,
+			})
+		}
+		man.Homes = append(man.Homes, dataset.ManifestHome{ID: gw, Devices: len(g.Devices)})
+		if err := writeGatewayCSV(filepath.Join(dir, gw+".csv"), g); err != nil {
+			return err
+		}
+	}
+
+	raw, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "deployment.json"), raw, 0o644)
+}
+
+// campaignMinutes returns one past the highest stored minute index.
+func (s *Store) campaignMinutes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	startSec := s.cfg.Start.Unix()
+	stepSec := int64(s.cfg.Step / time.Second)
+	minutes := 0
+	for _, ts := range s.wm {
+		if ts < startSec {
+			continue
+		}
+		if m := int((ts-startSec)/stepSec) + 1; m > minutes {
+			minutes = m
+		}
+	}
+	return minutes
+}
+
+func writeGatewayCSV(path string, g *dataset.Gateway) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSV(f, g); err != nil {
+		_ = f.Close() //homesight:ignore unchecked-close — write error wins; file is partial anyway
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,421 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// Segment file layout. Segments are immutable once written: a flush
+// writes the whole file to a temp name, fsyncs, then renames it into
+// place, so a segment either exists completely or not at all.
+//
+//	[8]  magic "HSEG0001"
+//	per block (series sorted by key, points sorted by timestamp):
+//	  [4]  CRC32-C of the payload
+//	  [n]  payload (encodeBlock)
+//	footer: the index (see encodeFooter)
+//	[4]  CRC32-C of the footer
+//	[8]  footer length, little-endian
+//	[8]  magic "HSEGIDX1"
+//
+// The footer carries, per series, the block metadata (offset, length,
+// timestamp range, point count). Readers binary-search it, so a range
+// Select touches O(log blocks) index entries and only the data blocks
+// that overlap the range.
+const (
+	segMagic     = "HSEG0001"
+	segIdxMagic  = "HSEGIDX1"
+	segTailSize  = 4 + 8 + 8
+	maxSegFooter = 1 << 30
+)
+
+// Direction distinguishes the two series of a device.
+type Direction uint8
+
+// The two traffic directions, as seen from the home: In mirrors the
+// gateway's rx counter (bytes to the device), Out its tx counter.
+const (
+	DirIn Direction = iota
+	DirOut
+)
+
+// String implements fmt.Stringer ("in"/"out", the export vocabulary).
+func (d Direction) String() string {
+	if d == DirIn {
+		return "in"
+	}
+	return "out"
+}
+
+// Key identifies one series: a gateway, one of its devices (by MAC) and
+// a direction — the (gateway, device, direction) axis the paper's
+// per-device analyses iterate over.
+type Key struct {
+	Gateway string
+	Device  string
+	Dir     Direction
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Gateway, k.Device, k.Dir)
+}
+
+// keyLess orders keys by gateway, device, direction — the on-disk and
+// iteration order everywhere in the store.
+func keyLess(a, b Key) bool {
+	if a.Gateway != b.Gateway {
+		return a.Gateway < b.Gateway
+	}
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	return a.Dir < b.Dir
+}
+
+type blockMeta struct {
+	off    int64 // file offset of the CRC header
+	length int   // payload length, CRC excluded
+	minTs  int64
+	maxTs  int64
+	count  int
+}
+
+type segSeries struct {
+	key    Key
+	blocks []blockMeta
+}
+
+// segment is one open, immutable segment file: the parsed footer index
+// plus a read-only handle served through ReadAt (safe for concurrent
+// readers, no seek state).
+type segment struct {
+	path      string
+	seq       uint64
+	size      int64
+	f         *os.File
+	series    []segSeries
+	byKey     map[Key]int
+	points    int64
+	dataBytes int64 // sum of block payload bytes
+}
+
+// keyedPoints is the flush input: one series and its sorted points.
+type keyedPoints struct {
+	key Key
+	pts []Point
+}
+
+// writeSegmentFile encodes series (already sorted by key, points sorted
+// by timestamp) into a new segment file at path, fsyncing before
+// returning. It writes through a temp file + rename so a crash mid-
+// flush leaves no partial segment behind.
+func writeSegmentFile(path string, series []keyedPoints, blockPoints int) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = f.Close()      //homesight:ignore unchecked-close — first error wins; temp file is discarded
+			_ = os.Remove(tmp) //homesight:ignore unchecked-close — best-effort cleanup of the temp file
+		}
+	}()
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, segMagic...)
+	metas := make([]segSeries, 0, len(series))
+	var crcHdr [4]byte
+	payload := make([]byte, 0, 1<<15)
+	off := int64(len(buf))
+	for _, kp := range series {
+		ss := segSeries{key: kp.key}
+		for start := 0; start < len(kp.pts); start += blockPoints {
+			end := start + blockPoints
+			if end > len(kp.pts) {
+				end = len(kp.pts)
+			}
+			chunk := kp.pts[start:end]
+			payload = encodeBlock(payload[:0], chunk)
+			binary.LittleEndian.PutUint32(crcHdr[:], crc32.Checksum(payload, crcTable))
+			buf = append(buf, crcHdr[:]...)
+			buf = append(buf, payload...)
+			ss.blocks = append(ss.blocks, blockMeta{
+				off:    off,
+				length: len(payload),
+				minTs:  chunk[0].Ts,
+				maxTs:  chunk[len(chunk)-1].Ts,
+				count:  len(chunk),
+			})
+			off += int64(4 + len(payload))
+		}
+		metas = append(metas, ss)
+	}
+	footer := encodeFooter(nil, metas)
+	buf = append(buf, footer...)
+	var tail [segTailSize]byte
+	binary.LittleEndian.PutUint32(tail[0:4], crc32.Checksum(footer, crcTable))
+	binary.LittleEndian.PutUint64(tail[4:12], uint64(len(footer)))
+	copy(tail[12:], segIdxMagic)
+	buf = append(buf, tail[:]...)
+
+	if _, err = f.Write(buf); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs the directory containing path, making a rename durable.
+func syncDir(path string) error {
+	d, err := os.Open(dirOf(path))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() //homesight:ignore unchecked-close — sync error wins; handle is read-only
+		return err
+	}
+	return d.Close()
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// encodeFooter appends the index encoding to dst.
+func encodeFooter(dst []byte, series []segSeries) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(series)))
+	for _, ss := range series {
+		dst = appendString(dst, ss.key.Gateway)
+		dst = appendString(dst, ss.key.Device)
+		dst = append(dst, byte(ss.key.Dir))
+		dst = binary.AppendUvarint(dst, uint64(len(ss.blocks)))
+		for _, bm := range ss.blocks {
+			dst = binary.AppendUvarint(dst, uint64(bm.off))
+			dst = binary.AppendUvarint(dst, uint64(bm.length))
+			dst = binary.AppendVarint(dst, bm.minTs)
+			dst = binary.AppendVarint(dst, bm.maxTs)
+			dst = binary.AppendUvarint(dst, uint64(bm.count))
+		}
+	}
+	return dst
+}
+
+// decodeFooter parses an index. Bounds are validated against the file
+// size so a corrupt footer cannot direct reads outside the file.
+func decodeFooter(data []byte, fileSize int64) ([]segSeries, error) {
+	nSeries, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad series count")
+	}
+	data = data[n:]
+	if nSeries > uint64(len(data))+1 {
+		return nil, fmt.Errorf("footer declares %d series in %d bytes", nSeries, len(data))
+	}
+	out := make([]segSeries, 0, nSeries)
+	var err error
+	for i := uint64(0); i < nSeries; i++ {
+		var ss segSeries
+		if ss.key.Gateway, data, err = readString(data); err != nil {
+			return nil, fmt.Errorf("series %d gateway: %w", i, err)
+		}
+		if ss.key.Device, data, err = readString(data); err != nil {
+			return nil, fmt.Errorf("series %d device: %w", i, err)
+		}
+		if len(data) < 1 {
+			return nil, fmt.Errorf("series %d: missing direction", i)
+		}
+		if data[0] > byte(DirOut) {
+			return nil, fmt.Errorf("series %d: bad direction %d", i, data[0])
+		}
+		ss.key.Dir = Direction(data[0])
+		data = data[1:]
+		nBlocks, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("series %d: bad block count", i)
+		}
+		data = data[n:]
+		if nBlocks > uint64(len(data))+1 {
+			return nil, fmt.Errorf("series %d declares %d blocks in %d bytes", i, nBlocks, len(data))
+		}
+		ss.blocks = make([]blockMeta, 0, nBlocks)
+		for b := uint64(0); b < nBlocks; b++ {
+			var bm blockMeta
+			var v uint64
+			if v, n = binary.Uvarint(data); n <= 0 {
+				return nil, fmt.Errorf("series %d block %d: bad offset", i, b)
+			}
+			bm.off = int64(v)
+			data = data[n:]
+			if v, n = binary.Uvarint(data); n <= 0 {
+				return nil, fmt.Errorf("series %d block %d: bad length", i, b)
+			}
+			bm.length = int(v)
+			data = data[n:]
+			if bm.minTs, n = binary.Varint(data); n <= 0 {
+				return nil, fmt.Errorf("series %d block %d: bad minTs", i, b)
+			}
+			data = data[n:]
+			if bm.maxTs, n = binary.Varint(data); n <= 0 {
+				return nil, fmt.Errorf("series %d block %d: bad maxTs", i, b)
+			}
+			data = data[n:]
+			if v, n = binary.Uvarint(data); n <= 0 {
+				return nil, fmt.Errorf("series %d block %d: bad count", i, b)
+			}
+			bm.count = int(v)
+			data = data[n:]
+			if bm.off < int64(len(segMagic)) || bm.length < 0 ||
+				bm.off+4+int64(bm.length) > fileSize {
+				return nil, fmt.Errorf("series %d block %d: bounds [%d,+%d) outside file (%d bytes)",
+					i, b, bm.off, bm.length, fileSize)
+			}
+			ss.blocks = append(ss.blocks, bm)
+		}
+		out = append(out, ss)
+	}
+	return out, nil
+}
+
+// openSegment memory-maps nothing: it reads and validates the footer,
+// keeps the index in memory (a few bytes per 1024-point block) and
+// serves block reads on demand through ReadAt.
+func openSegment(path string, seq uint64) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{path: path, seq: seq, f: f, byKey: make(map[Key]int)}
+	fail := func(err error) (*segment, error) {
+		_ = f.Close() //homesight:ignore unchecked-close — open failed; handle is read-only
+		return nil, fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	s.size = fi.Size()
+	if s.size < int64(len(segMagic))+segTailSize {
+		return fail(fmt.Errorf("file too small (%d bytes)", s.size))
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return fail(err)
+	}
+	if string(magic[:]) != segMagic {
+		return fail(fmt.Errorf("bad magic %q", magic))
+	}
+	var tail [segTailSize]byte
+	if _, err := f.ReadAt(tail[:], s.size-segTailSize); err != nil {
+		return fail(err)
+	}
+	if string(tail[12:]) != segIdxMagic {
+		return fail(fmt.Errorf("bad index magic %q", tail[12:]))
+	}
+	footerLen := binary.LittleEndian.Uint64(tail[4:12])
+	if footerLen > maxSegFooter || int64(footerLen) > s.size-int64(len(segMagic))-segTailSize {
+		return fail(fmt.Errorf("implausible footer length %d", footerLen))
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, s.size-segTailSize-int64(footerLen)); err != nil {
+		return fail(err)
+	}
+	if crc32.Checksum(footer, crcTable) != binary.LittleEndian.Uint32(tail[0:4]) {
+		return fail(fmt.Errorf("footer checksum mismatch"))
+	}
+	if s.series, err = decodeFooter(footer, s.size); err != nil {
+		return fail(err)
+	}
+	for i, ss := range s.series {
+		s.byKey[ss.key] = i
+		for _, bm := range ss.blocks {
+			s.points += int64(bm.count)
+			s.dataBytes += int64(bm.length)
+		}
+	}
+	return s, nil
+}
+
+func (s *segment) close() error { return s.f.Close() }
+
+// readBlock fetches and decodes one block, verifying its checksum.
+func (s *segment) readBlock(bm blockMeta, dst []Point) ([]Point, error) {
+	raw := make([]byte, 4+bm.length)
+	if _, err := s.f.ReadAt(raw, bm.off); err != nil {
+		return nil, fmt.Errorf("store: segment %s: block at %d: %w", s.path, bm.off, err)
+	}
+	payload := raw[4:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(raw[0:4]) {
+		return nil, fmt.Errorf("store: segment %s: block at %d: checksum mismatch", s.path, bm.off)
+	}
+	pts, err := decodeBlock(dst, payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: block at %d: %w", s.path, bm.off, err)
+	}
+	return pts, nil
+}
+
+// blocksInRange returns the block metas of key overlapping [fromSec,
+// toSec), located with a binary search over the footer index.
+func (s *segment) blocksInRange(key Key, fromSec, toSec int64) []blockMeta {
+	i, ok := s.byKey[key]
+	if !ok {
+		return nil
+	}
+	blocks := s.series[i].blocks
+	// First block that could still contain fromSec.
+	lo := sort.Search(len(blocks), func(j int) bool { return blocks[j].maxTs >= fromSec })
+	hi := lo
+	for hi < len(blocks) && blocks[hi].minTs < toSec {
+		hi++
+	}
+	return blocks[lo:hi]
+}
+
+// verify re-reads every block of the segment, checking CRCs, decode
+// round-trips, meta consistency and strict timestamp ordering. It is
+// the heavy half of `homestore verify`.
+func (s *segment) verify() error {
+	for _, ss := range s.series {
+		prev := int64(-1 << 62)
+		for bi, bm := range ss.blocks {
+			pts, err := s.readBlock(bm, nil)
+			if err != nil {
+				return err
+			}
+			if len(pts) != bm.count {
+				return fmt.Errorf("store: segment %s: %v block %d: %d points, index says %d",
+					s.path, ss.key, bi, len(pts), bm.count)
+			}
+			if pts[0].Ts != bm.minTs || pts[len(pts)-1].Ts != bm.maxTs {
+				return fmt.Errorf("store: segment %s: %v block %d: range [%d,%d], index says [%d,%d]",
+					s.path, ss.key, bi, pts[0].Ts, pts[len(pts)-1].Ts, bm.minTs, bm.maxTs)
+			}
+			for _, p := range pts {
+				if p.Ts <= prev {
+					return fmt.Errorf("store: segment %s: %v block %d: timestamp %d not after %d",
+						s.path, ss.key, bi, p.Ts, prev)
+				}
+				prev = p.Ts
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1068 @@
+// Package store implements homestore, homesight's embedded on-disk
+// time-series store. It persists the per-minute cumulative byte
+// counters of the telemetry pipeline — the paper's ~20M-report corpus
+// shape — keyed by (gateway, device MAC, direction), with:
+//
+//   - a length-prefixed, CRC32-C-checksummed write-ahead log with a
+//     configurable fsync policy and truncate-on-torn-tail crash
+//     recovery (wal.go);
+//   - immutable, sorted segment files produced by background memtable
+//     flushes, using delta-of-delta timestamp + zigzag-varint value
+//     block encoding and a checksummed footer index for O(log n)
+//     range seeks (codec.go, segment.go);
+//   - an Append/Select API that merges memtable, WAL tail and segments
+//     into one ordered, deduplicated stream;
+//   - registry-backed homesight_store_* metrics (metrics.go).
+//
+// Layout of a store directory (see STORAGE.md for the full diagram):
+//
+//	meta.json      series anchor (start, step) — written once
+//	names.json     gateway -> MAC -> device name catalog
+//	wal-XXXXXXXX.wal   write-ahead log, one active + flushed leftovers
+//	seg-XXXXXXXX.seg   immutable segments, ascending time per series
+//
+// Durability contract: a report is recoverable once Append returns and
+// the WAL has been fsynced (immediately under SyncAlways, within
+// SyncEvery under SyncInterval, at Close under SyncNever). Recovery
+// replays every intact WAL record through the same watermark-dedup
+// path as live appends, so replaying a WAL whose segment already
+// landed — the crash window between flush and WAL deletion — yields
+// zero duplicates.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/obs"
+	"homesight/internal/timeseries"
+)
+
+// ErrClosed is returned by operations on a closed (or crashed) store.
+var ErrClosed = errors.New("store: closed")
+
+// SyncPolicy selects when the WAL is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs at most once per
+	// Config.SyncEvery from a background ticker: group commit. A power
+	// cut loses at most the last interval; a process kill loses nothing
+	// past the last buffer flush.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every Append — the zero-loss setting the
+	// crash-parity tests run under.
+	SyncAlways
+	// SyncNever leaves syncing to Close and the OS.
+	SyncNever
+)
+
+// Config configures Open. The zero value of every field is usable.
+type Config struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// Start and Step anchor the minute grid for DeviceSeries
+	// reconstruction (defaults: 2014-03-17 UTC, one minute — the synth
+	// deployment anchor). A store directory remembers its anchor in
+	// meta.json; an existing anchor wins over the config.
+	Start time.Time
+	Step  time.Duration
+	// Sync is the WAL fsync policy; SyncEvery is the group-commit
+	// interval under SyncInterval (default 100ms).
+	Sync      SyncPolicy
+	SyncEvery time.Duration
+	// FlushPoints triggers a background flush once the active memtable
+	// holds this many points (default 1<<19). BlockPoints is the
+	// segment block size (default 1024).
+	FlushPoints int
+	BlockPoints int
+	// Metrics receives the store's instruments; nil gets a private
+	// registry (counting stays on, nothing is exported).
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2014, time.March, 17, 0, 0, 0, 0, time.UTC)
+	}
+	c.Start = c.Start.UTC()
+	if c.Step <= 0 {
+		c.Step = time.Minute
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 100 * time.Millisecond
+	}
+	if c.FlushPoints <= 0 {
+		c.FlushPoints = 1 << 19
+	}
+	if c.BlockPoints <= 0 {
+		c.BlockPoints = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(obs.NewRegistry())
+	}
+	return c
+}
+
+// memSeries is one series' unflushed points, strictly ascending.
+type memSeries struct {
+	pts []Point
+}
+
+// storeMeta is the meta.json payload.
+type storeMeta struct {
+	Start time.Time `json:"start"`
+	Step  int64     `json:"step_seconds"`
+}
+
+// Stats is a point-in-time snapshot of the store.
+type Stats struct {
+	Reports        int64   // reports accepted by Append
+	Points         int64   // points written to the memtable
+	DupPoints      int64   // points dropped by the watermark
+	Series         int     // distinct (gateway, device, direction) keys
+	Segments       int     // live segment files
+	SegmentBytes   int64   // their total size
+	SegmentPoints  int64   // points stored in segments
+	MemPoints      int     // points in the active + frozen memtables
+	WALBytes       int64   // bytes written to the active WAL
+	WALRecords     int     // records replayed at Open
+	WALTruncations int     // torn tails truncated at Open
+	Compression    float64 // raw bytes (16/point) over encoded segment bytes
+}
+
+// Store is an open homestore directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	closed    bool
+	wal       *walWriter
+	walSeq    uint64   // active WAL sequence number
+	walSeqs   []uint64 // every WAL file on disk, ascending (active last)
+	mem       map[Key]*memSeries
+	memPoints int
+	frozen    map[Key]*memSeries // memtable being flushed, nil when idle
+	frozenWAL []uint64           // WAL files the frozen memtable covers
+	wm        map[Key]int64      // per-series high-water timestamp
+	names     map[string]map[string]string
+	segs      []*segment
+	nextSeg   uint64
+	scratch   []byte // WAL record encode buffer, reused under mu
+
+	reports, points, dups int64
+	walRecords, walTrunc  int
+
+	flushMu  sync.Mutex // serializes segment production
+	flushCh  chan struct{}
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	flushErr error // sticky first background-flush failure, under mu
+}
+
+// Open opens (creating if needed) the store directory and recovers its
+// state: segments are indexed, WAL files replayed in order through the
+// watermark-dedup path, torn tails truncated.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:     cfg,
+		mem:     make(map[Key]*memSeries),
+		wm:      make(map[Key]int64),
+		names:   make(map[string]map[string]string),
+		flushCh: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		nextSeg: 1,
+	}
+	if err := s.loadMeta(); err != nil {
+		return nil, err
+	}
+	if err := s.loadNames(); err != nil {
+		return nil, err
+	}
+	if err := s.openSegments(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWALs(); err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	if len(s.walSeqs) == 0 {
+		s.walSeqs = []uint64{1}
+	}
+	s.walSeq = s.walSeqs[len(s.walSeqs)-1]
+	w, err := newWALWriter(s.walPath(s.walSeq))
+	if err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	s.wal = w
+	s.refreshGauges()
+	s.cfg.Metrics.MemPoints.Set(float64(s.memPoints))
+
+	s.wg.Add(1)
+	go s.flusher()
+	if s.cfg.Sync == SyncInterval {
+		s.wg.Add(1)
+		go s.syncer()
+	}
+	return s, nil
+}
+
+func (s *Store) walPath(seq uint64) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("wal-%08d.wal", seq))
+}
+
+func (s *Store) segPath(seq uint64) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("seg-%08d.seg", seq))
+}
+
+// loadMeta reads meta.json, writing it from the config on first open.
+// A stored anchor wins: series indices must stay stable across opens.
+func (s *Store) loadMeta() error {
+	path := filepath.Join(s.cfg.Dir, "meta.json")
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		raw, err = json.Marshal(storeMeta{Start: s.cfg.Start, Step: int64(s.cfg.Step / time.Second)})
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, raw, 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var m storeMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	if m.Step <= 0 || m.Start.IsZero() {
+		return fmt.Errorf("store: %s: invalid anchor (start %v, step %ds)", path, m.Start, m.Step)
+	}
+	s.cfg.Start = m.Start.UTC()
+	s.cfg.Step = time.Duration(m.Step) * time.Second
+	return nil
+}
+
+func (s *Store) loadNames() error {
+	raw, err := os.ReadFile(filepath.Join(s.cfg.Dir, "names.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &s.names); err != nil {
+		return fmt.Errorf("store: names.json: %w", err)
+	}
+	return nil
+}
+
+// saveNames persists the name catalog; called with flushMu held (never
+// on the append hot path).
+func (s *Store) saveNames() error {
+	s.mu.Lock()
+	raw, err := json.MarshalIndent(s.names, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cfg.Dir, "names.json"), raw, 0o644)
+}
+
+// scanSeq lists the ascending sequence numbers of files matching
+// prefix+"%08d"+suffix in the store directory.
+func (s *Store) scanSeq(prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), prefix+"%08d"+suffix, &seq); n == 1 && err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func (s *Store) openSegments() error {
+	seqs, err := s.scanSeq("seg-", ".seg")
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		seg, err := openSegment(s.segPath(seq), seq)
+		if err != nil {
+			s.closeSegments()
+			return err
+		}
+		s.segs = append(s.segs, seg)
+		s.nextSeg = seq + 1
+		for _, ss := range seg.series {
+			if last := ss.blocks[len(ss.blocks)-1].maxTs; last > s.wm[ss.key] || !s.hasWM(ss.key) {
+				s.wm[ss.key] = last
+			}
+		}
+	}
+	return nil
+}
+
+// hasWM reports whether a watermark exists (zero is a valid timestamp).
+func (s *Store) hasWM(k Key) bool { _, ok := s.wm[k]; return ok }
+
+func (s *Store) closeSegments() {
+	for _, seg := range s.segs {
+		_ = seg.close() //homesight:ignore unchecked-close — read-only handles on an abort path
+	}
+	s.segs = nil
+}
+
+// replayWALs replays every WAL file in sequence order through the same
+// ingest path as live appends. Watermarks seeded from the segments make
+// the replay idempotent against records whose segment already landed.
+func (s *Store) replayWALs() error {
+	seqs, err := s.scanSeq("wal-", ".wal")
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		res, err := replayWAL(s.walPath(seq), func(payload []byte) error {
+			rep, err := decodeReportRecord(payload)
+			if err != nil {
+				return err
+			}
+			s.ingest(rep)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("store: replaying %s: %w", s.walPath(seq), err)
+		}
+		s.walRecords += res.records
+		if res.truncated {
+			s.walTrunc++
+			s.cfg.Metrics.WALTruncations.Inc()
+		}
+	}
+	s.walSeqs = seqs
+	return nil
+}
+
+// ingest applies one report to the memtable: the shared path of live
+// appends and WAL replay. Caller holds mu (or owns the store, at Open).
+func (s *Store) ingest(rep gateway.Report) {
+	ts := rep.Timestamp.Unix()
+	for _, dc := range rep.Devices {
+		if dc.Name != "" {
+			gw := s.names[rep.GatewayID]
+			if gw == nil {
+				gw = make(map[string]string)
+				s.names[rep.GatewayID] = gw
+			}
+			gw[dc.MAC] = dc.Name
+		} else if s.names[rep.GatewayID] == nil {
+			s.names[rep.GatewayID] = make(map[string]string)
+		}
+		if _, ok := s.names[rep.GatewayID][dc.MAC]; !ok {
+			s.names[rep.GatewayID][dc.MAC] = dc.Name
+		}
+		for dir, val := range [2]uint64{dc.RxBytes, dc.TxBytes} {
+			k := Key{Gateway: rep.GatewayID, Device: dc.MAC, Dir: Direction(dir)}
+			if wm, ok := s.wm[k]; ok && ts <= wm {
+				s.dups++
+				s.cfg.Metrics.DupPoints.Inc()
+				continue
+			}
+			ser := s.mem[k]
+			if ser == nil {
+				ser = &memSeries{}
+				s.mem[k] = ser
+			}
+			ser.pts = append(ser.pts, Point{Ts: ts, Val: val})
+			s.wm[k] = ts
+			s.memPoints++
+			s.points++
+			s.cfg.Metrics.Points.Inc()
+		}
+	}
+	s.reports++
+	s.cfg.Metrics.Appends.Inc()
+}
+
+// Append durably records one report. Points at or before a series'
+// high-water timestamp are dropped (counted as duplicates), which makes
+// Append idempotent under at-least-once delivery. The report is written
+// to the WAL before the memtable; with SyncAlways it is on disk when
+// Append returns.
+func (s *Store) Append(rep gateway.Report) error {
+	if rep.GatewayID == "" {
+		return fmt.Errorf("store: report without gateway id")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.flushErr; err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: background flush failed: %w", err)
+	}
+	s.scratch = appendReportRecord(s.scratch[:0], rep)
+	if err := s.wal.append(s.scratch); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if s.cfg.Sync == SyncAlways {
+		t0 := time.Now()
+		if err := s.wal.sync(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.cfg.Metrics.FsyncSeconds.Observe(time.Since(t0).Seconds())
+	}
+	s.ingest(rep)
+	s.cfg.Metrics.MemPoints.Set(float64(s.memPoints))
+	var rotated bool
+	var err error
+	if s.memPoints >= s.cfg.FlushPoints && s.frozen == nil {
+		rotated, err = s.rotateLocked()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if rotated {
+		select {
+		case s.flushCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// rotateLocked freezes the active memtable and opens a fresh WAL; the
+// frozen state is flushed to a segment by the flusher. Caller holds mu.
+func (s *Store) rotateLocked() (bool, error) {
+	if s.memPoints == 0 || s.frozen != nil {
+		return false, nil
+	}
+	if err := s.wal.sync(); err != nil {
+		return false, err
+	}
+	next := s.walSeq + 1
+	w, err := newWALWriter(s.walPath(next))
+	if err != nil {
+		return false, err
+	}
+	if err := s.wal.close(); err != nil {
+		w.abandon()
+		return false, err
+	}
+	s.frozen = s.mem
+	s.frozenWAL = s.walSeqs
+	s.mem = make(map[Key]*memSeries)
+	s.memPoints = 0
+	s.wal = w
+	s.walSeq = next
+	s.walSeqs = []uint64{next}
+	return true, nil
+}
+
+// flusher drains flush signals in the background.
+func (s *Store) flusher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.flushCh:
+			if err := s.doFlush(); err != nil {
+				s.mu.Lock()
+				if s.flushErr == nil {
+					s.flushErr = err
+				}
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// syncer is the SyncInterval group-commit loop.
+func (s *Store) syncer() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			t0 := time.Now()
+			err := s.wal.sync()
+			if err == nil {
+				s.cfg.Metrics.FsyncSeconds.Observe(time.Since(t0).Seconds())
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// doFlush writes the frozen memtable to one immutable segment, installs
+// it and deletes the WAL files it covers. flushMu serializes producers.
+func (s *Store) doFlush() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.Lock()
+	frozen := s.frozen
+	frozenWAL := s.frozenWAL
+	seq := s.nextSeg
+	s.mu.Unlock()
+	if frozen == nil {
+		return nil
+	}
+
+	series := make([]keyedPoints, 0, len(frozen))
+	var pts int
+	for k, ser := range frozen {
+		series = append(series, keyedPoints{key: k, pts: ser.pts})
+		pts += len(ser.pts)
+	}
+	sort.Slice(series, func(i, j int) bool { return keyLess(series[i].key, series[j].key) })
+
+	path := s.segPath(seq)
+	if err := writeSegmentFile(path, series, s.cfg.BlockPoints); err != nil {
+		return err
+	}
+	seg, err := openSegment(path, seq)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.segs = append(s.segs, seg)
+	s.nextSeg = seq + 1
+	s.frozen = nil
+	s.frozenWAL = nil
+	s.refreshGauges()
+	s.cfg.Metrics.Flushes.Inc()
+	s.mu.Unlock()
+
+	if err := s.saveNames(); err != nil {
+		return err
+	}
+	// The segment is durable; its WAL files are now redundant. A crash
+	// before this point replays them into watermark-dropped duplicates.
+	for _, wseq := range frozenWAL {
+		if err := os.Remove(s.walPath(wseq)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshGauges recomputes the segment-set gauges. Caller holds mu.
+func (s *Store) refreshGauges() {
+	var bytes, dataBytes, points int64
+	for _, seg := range s.segs {
+		bytes += seg.size
+		dataBytes += seg.dataBytes
+		points += seg.points
+	}
+	s.cfg.Metrics.Segments.Set(float64(len(s.segs)))
+	s.cfg.Metrics.SegmentBytes.Set(float64(bytes))
+	if dataBytes > 0 {
+		s.cfg.Metrics.Compression.Set(float64(points*16) / float64(dataBytes))
+	}
+}
+
+// Flush synchronously persists everything buffered so far: the frozen
+// memtable (if a background flush is pending) and then the active one.
+func (s *Store) Flush() error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if err := s.flushErr; err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: background flush failed: %w", err)
+		}
+		if s.frozen == nil {
+			if s.memPoints == 0 {
+				s.mu.Unlock()
+				return nil
+			}
+			if _, err := s.rotateLocked(); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+		if err := s.doFlush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Close stops the background goroutines, syncs and closes the WAL and
+// releases segment handles. The memtable is NOT flushed to a segment:
+// its WAL survives, and the next Open replays it — the recovery path is
+// also the shutdown path, so it is exercised constantly.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	// Drain a flush signaled but not yet picked up.
+	if err := s.doFlushIfFrozen(); err != nil {
+		return err
+	}
+	err := s.wal.close()
+	for _, seg := range s.segs {
+		if cerr := seg.close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = s.flushErr
+	}
+	return err
+}
+
+func (s *Store) doFlushIfFrozen() error {
+	s.mu.Lock()
+	frozen := s.frozen != nil
+	s.mu.Unlock()
+	if !frozen {
+		return nil
+	}
+	return s.doFlush()
+}
+
+// Crash abandons the store without flushing buffers or syncing — the
+// fault-drill API: everything not yet fsynced is lost exactly as a
+// killed process would lose it. The directory can be reopened.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	s.wg.Wait()
+	s.wal.abandon()
+	for _, seg := range s.segs {
+		_ = seg.close() //homesight:ignore unchecked-close — crash simulation; handles are read-only
+	}
+}
+
+// Stats returns a snapshot of the store's counters and layout.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Reports:        s.reports,
+		Points:         s.points,
+		DupPoints:      s.dups,
+		Series:         len(s.wm),
+		Segments:       len(s.segs),
+		MemPoints:      s.memPoints,
+		WALRecords:     s.walRecords,
+		WALTruncations: s.walTrunc,
+	}
+	if s.wal != nil {
+		st.WALBytes = s.wal.bytes
+	}
+	var dataBytes int64
+	for _, seg := range s.segs {
+		st.SegmentBytes += seg.size
+		st.SegmentPoints += seg.points
+		dataBytes += seg.dataBytes
+	}
+	for _, ser := range s.frozen {
+		st.MemPoints += len(ser.pts)
+	}
+	if dataBytes > 0 {
+		st.Compression = float64(st.SegmentPoints*16) / float64(dataBytes)
+	}
+	return st
+}
+
+// SegmentInfo describes one immutable segment — the inspection view
+// cmd/homestore renders.
+type SegmentInfo struct {
+	Path   string `json:"path"`
+	Seq    uint64 `json:"seq"`
+	Bytes  int64  `json:"bytes"`
+	Series int    `json:"series"`
+	Points int64  `json:"points"`
+	MinTs  int64  `json:"min_ts"` // unix seconds; 0 when the segment is empty
+	MaxTs  int64  `json:"max_ts"`
+}
+
+// SegmentInfos returns a snapshot of the installed segments in sequence
+// order.
+func (s *Store) SegmentInfos() []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for _, seg := range s.segs {
+		si := SegmentInfo{
+			Path:   seg.path,
+			Seq:    seg.seq,
+			Bytes:  seg.size,
+			Series: len(seg.series),
+			Points: seg.points,
+		}
+		for _, ser := range seg.series {
+			for _, bm := range ser.blocks {
+				if si.MinTs == 0 || bm.minTs < si.MinTs {
+					si.MinTs = bm.minTs
+				}
+				if bm.maxTs > si.MaxTs {
+					si.MaxTs = bm.maxTs
+				}
+			}
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// Gateways returns the known gateway IDs, sorted.
+func (s *Store) Gateways() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.names))
+	for gw := range s.names {
+		out = append(out, gw)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Devices returns a gateway's known device MACs, sorted.
+func (s *Store) Devices(gatewayID string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.names[gatewayID]))
+	for mac := range s.names[gatewayID] {
+		out = append(out, mac)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeviceName returns the recorded name for a device ("" if none).
+func (s *Store) DeviceName(gatewayID, mac string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names[gatewayID][mac]
+}
+
+// Start and Step expose the store's series anchor.
+func (s *Store) Start() time.Time    { return s.cfg.Start }
+func (s *Store) Step() time.Duration { return s.cfg.Step }
+
+// Iterator streams the points of one series in ascending timestamp
+// order. Next advances; At is valid until the next call to Next; Err
+// reports the first failure (a failed Next may mean exhaustion or
+// error — check Err).
+type Iterator struct {
+	fromSec, toSec int64
+	blocks         []segBlock
+	tail           []Point
+	buf            []Point
+	i              int
+	lastTs         int64
+	started        bool
+	cur            Point
+	err            error
+}
+
+type segBlock struct {
+	seg *segment
+	bm  blockMeta
+}
+
+// Next advances to the next point, reporting false at the end of the
+// stream or on error.
+func (it *Iterator) Next() bool {
+	for {
+		for it.i < len(it.buf) {
+			p := it.buf[it.i]
+			it.i++
+			if p.Ts < it.fromSec || (it.started && p.Ts <= it.lastTs) {
+				continue
+			}
+			if p.Ts >= it.toSec {
+				it.blocks = nil
+				it.tail = nil
+				it.buf = nil
+				return false
+			}
+			it.cur = p
+			it.lastTs = p.Ts
+			it.started = true
+			return true
+		}
+		switch {
+		case len(it.blocks) > 0:
+			sb := it.blocks[0]
+			it.blocks = it.blocks[1:]
+			pts, err := sb.seg.readBlock(sb.bm, it.buf[:0])
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.buf = pts
+			it.i = 0
+		case it.tail != nil:
+			it.buf = it.tail
+			it.tail = nil
+			it.i = 0
+		default:
+			return false
+		}
+	}
+}
+
+// At returns the current point.
+func (it *Iterator) At() Point { return it.cur }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Select returns an iterator over one series restricted to timestamps
+// in [from, to). It merges segments (oldest first), the frozen memtable
+// and the active memtable; per-series time ranges across those layers
+// are disjoint by construction (the watermark only moves forward), so
+// the merge is an ordered concatenation with a dedup guard.
+func (s *Store) Select(key Key, from, to time.Time) *Iterator {
+	it := &Iterator{fromSec: from.Unix(), toSec: to.Unix()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		for _, bm := range seg.blocksInRange(key, it.fromSec, it.toSec) {
+			it.blocks = append(it.blocks, segBlock{seg: seg, bm: bm})
+		}
+	}
+	var tail []Point
+	if ser := s.frozen[key]; ser != nil {
+		tail = append(tail, rangeOf(ser.pts, it.fromSec, it.toSec)...)
+	}
+	if ser := s.mem[key]; ser != nil {
+		tail = append(tail, rangeOf(ser.pts, it.fromSec, it.toSec)...)
+	}
+	it.tail = tail
+	return it
+}
+
+// rangeOf binary-searches the sub-slice of pts with Ts in [fromSec,
+// toSec). pts is ascending.
+func rangeOf(pts []Point, fromSec, toSec int64) []Point {
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].Ts >= fromSec })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].Ts >= toSec })
+	return pts[lo:hi]
+}
+
+// SelectAll returns an iterator over a series' full stored range.
+func (s *Store) SelectAll(key Key) *Iterator {
+	return s.Select(key, time.Unix(math.MinInt64/2, 0), time.Unix(math.MaxInt64/2, 0))
+}
+
+// DeviceSeries reconstructs a device's per-minute in/out series from
+// the stored cumulative counters, padded to n samples (0 keeps the
+// natural length). The reconstruction mirrors gateway.Recorder exactly:
+// wrap-aware differencing through gateway.Meter, meter reset across
+// reporting gaps, NaN for unobserved minutes. It returns nils for an
+// unknown device.
+func (s *Store) DeviceSeries(gatewayID, mac string, n int) (in, out *timeseries.Series, err error) {
+	stepSec := int64(s.cfg.Step / time.Second)
+	startSec := s.cfg.Start.Unix()
+	var vals [2][]float64
+	maxLen := 0
+	for dir := 0; dir < 2; dir++ {
+		var m gateway.Meter
+		lastIdx := -1
+		it := s.SelectAll(Key{Gateway: gatewayID, Device: mac, Dir: Direction(dir)})
+		for it.Next() {
+			p := it.At()
+			idx := int((p.Ts - startSec) / stepSec)
+			if p.Ts < startSec || idx < 0 {
+				continue
+			}
+			if lastIdx >= 0 && idx != lastIdx+1 {
+				m.Reset()
+			}
+			for len(vals[dir]) <= idx {
+				vals[dir] = append(vals[dir], math.NaN())
+			}
+			if d, ok := m.Delta(p.Val); ok {
+				vals[dir][idx] = float64(d)
+			}
+			lastIdx = idx
+		}
+		if err := it.Err(); err != nil {
+			return nil, nil, err
+		}
+		if len(vals[dir]) > maxLen {
+			maxLen = len(vals[dir])
+		}
+	}
+	if maxLen == 0 {
+		return nil, nil, nil
+	}
+	if n <= 0 {
+		n = maxLen
+	}
+	for dir := 0; dir < 2; dir++ {
+		for len(vals[dir]) < n {
+			vals[dir] = append(vals[dir], math.NaN())
+		}
+		vals[dir] = vals[dir][:n]
+	}
+	return timeseries.New(s.cfg.Start, s.cfg.Step, vals[0]),
+		timeseries.New(s.cfg.Start, s.cfg.Step, vals[1]), nil
+}
+
+// Compact flushes the memtable and rewrites all segments into one,
+// reclaiming per-segment overhead and re-blocking short runs. The store
+// stays readable throughout; writes are blocked only for the final
+// swap.
+func (s *Store) Compact() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	old := append([]*segment(nil), s.segs...)
+	seq := s.nextSeg
+	s.mu.Unlock()
+	if len(old) <= 1 {
+		return nil
+	}
+
+	// Collect every key across the old segments, in order.
+	keySet := make(map[Key]bool)
+	var keys []Key
+	for _, seg := range old {
+		for _, ss := range seg.series {
+			if !keySet[ss.key] {
+				keySet[ss.key] = true
+				keys = append(keys, ss.key)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	series := make([]keyedPoints, 0, len(keys))
+	for _, k := range keys {
+		var pts []Point
+		lastTs := int64(math.MinInt64)
+		for _, seg := range old {
+			i, ok := seg.byKey[k]
+			if !ok {
+				continue
+			}
+			for _, bm := range seg.series[i].blocks {
+				var err error
+				if pts, err = seg.readBlock(bm, pts); err != nil {
+					return err
+				}
+			}
+		}
+		// Segments are time-disjoint per series, but verify cheaply.
+		for _, p := range pts {
+			if p.Ts <= lastTs {
+				return fmt.Errorf("store: compact: %v not time-ordered across segments", k)
+			}
+			lastTs = p.Ts
+		}
+		series = append(series, keyedPoints{key: k, pts: pts})
+	}
+
+	path := s.segPath(seq)
+	if err := writeSegmentFile(path, series, s.cfg.BlockPoints); err != nil {
+		return err
+	}
+	seg, err := openSegment(path, seq)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.segs = []*segment{seg}
+	s.nextSeg = seq + 1
+	s.refreshGauges()
+	s.mu.Unlock()
+	for _, o := range old {
+		_ = o.close() //homesight:ignore unchecked-close — read-only handles of replaced segments
+		if err := os.Remove(o.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify re-reads every block of every segment, checking checksums,
+// decode round-trips, index consistency, intra-block ordering and
+// cross-segment time-disjointness per series.
+func (s *Store) Verify() error {
+	s.mu.Lock()
+	segs := append([]*segment(nil), s.segs...)
+	s.mu.Unlock()
+	last := make(map[Key]int64)
+	seen := make(map[Key]bool)
+	for _, seg := range segs {
+		if err := seg.verify(); err != nil {
+			return err
+		}
+		for _, ss := range seg.series {
+			minTs := ss.blocks[0].minTs
+			if seen[ss.key] && minTs <= last[ss.key] {
+				return fmt.Errorf("store: segment %s: %v overlaps an older segment (min %d <= %d)",
+					seg.path, ss.key, minTs, last[ss.key])
+			}
+			seen[ss.key] = true
+			last[ss.key] = ss.blocks[len(ss.blocks)-1].maxTs
+		}
+	}
+	return nil
+}

@@ -183,7 +183,7 @@ func (c *Collector) acceptLoop() {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			_ = conn.Close()
+			_ = conn.Close() //homesight:ignore unchecked-close — collector is shutting down; conn is unwanted
 			return
 		}
 		c.conns[conn] = true
@@ -204,7 +204,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 	c.cfg.Metrics.Conns.Inc()
 	c.cfg.Metrics.ActiveConns.Inc()
 	defer func() {
-		_ = conn.Close()
+		_ = conn.Close() //homesight:ignore unchecked-close — read side; the protocol carries no shutdown ack
 		c.counters.activeConns.Add(-1)
 		c.cfg.Metrics.ActiveConns.Dec()
 		c.mu.Lock()
@@ -339,7 +339,7 @@ func (c *Collector) Close() error {
 	}
 	c.closed = true
 	for conn := range c.conns {
-		_ = conn.Close()
+		_ = conn.Close() //homesight:ignore unchecked-close — forced shutdown; listener close error wins
 	}
 	c.mu.Unlock()
 	err := c.ln.Close()

@@ -254,7 +254,7 @@ func (r *Reporter) reconnect() error {
 // the next connection.
 func (r *Reporter) teardown() {
 	if r.conn != nil {
-		_ = r.conn.Close()
+		_ = r.conn.Close() //homesight:ignore unchecked-close — conn is already failed; reconnect resends the report
 		r.conn = nil
 		r.bw = nil
 		r.enc = nil

@@ -5,7 +5,9 @@
 # a kernel-assigned port, waits for the debug server to announce itself
 # on stderr, curls /healthz and /metrics, and greps the exposition for
 # one representative series from each instrumented layer (ingest,
-# runner, cache). Wired into `make check` via the obs-smoke target.
+# runner, cache). Then boots cmd/collector with -data-dir to verify the
+# homesight_store_* families reach the same surface. Wired into
+# `make check` via the obs-smoke target.
 #
 # Exits non-zero (and prints the captured log) on any missing endpoint
 # or metric, so a refactor that silently unregisters a family fails CI.
@@ -13,7 +15,8 @@ set -eu
 
 GO=${GO:-go}
 TMP=$(mktemp -d)
-trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PID= CPID=
+trap 'kill "$PID" "$CPID" 2>/dev/null || true; wait "$PID" "$CPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 # A tiny run (-run fig5 keeps it to one experiment) held open long
 # enough to scrape; -hold is the window, generous for slow CI machines.
@@ -70,4 +73,51 @@ curl -fsS --max-time 10 "http://$ADDR/debug/pprof/cmdline" >/dev/null || fail "p
 
 kill "$PID" 2>/dev/null || true
 wait "$PID" 2>/dev/null || true
-echo "obs-smoke: /healthz, /metrics (ingest+runner+cache) and pprof all served at $ADDR"
+PID=
+
+# Storage layer: a collector with -data-dir registers the
+# homesight_store_* families on its debug registry the moment the store
+# opens; serve mode holds the endpoint up while we scrape.
+$GO run ./cmd/collector -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    -data-dir "$TMP/store" \
+    >"$TMP/col-stdout" 2>"$TMP/col-stderr" &
+CPID=$!
+
+CADDR=
+i=0
+while [ $i -lt 150 ]; do
+    CADDR=$(sed -n 's/.*msg="debug server listening".* addr=\([0-9.:]*\).*/\1/p' "$TMP/col-stderr" | head -n 1)
+    [ -n "$CADDR" ] && break
+    if ! kill -0 "$CPID" 2>/dev/null; then
+        echo "obs-smoke: collector exited before serving" >&2
+        cat "$TMP/col-stderr" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$CADDR" ]; then
+    echo "obs-smoke: collector debug server never announced an address" >&2
+    cat "$TMP/col-stderr" >&2
+    exit 1
+fi
+
+cfail() {
+    echo "obs-smoke: $1" >&2
+    cat "$TMP/col-stderr" >&2
+    exit 1
+}
+
+curl -fsS --max-time 10 "http://$CADDR/metrics" >"$TMP/col-metrics" || cfail "collector /metrics unreachable"
+for metric in \
+    homesight_store_appends_total \
+    homesight_store_points_total \
+    homesight_store_segments \
+    homesight_store_wal_fsync_seconds; do
+    grep -q "^# TYPE $metric " "$TMP/col-metrics" || cfail "collector /metrics misses $metric"
+done
+
+kill "$CPID" 2>/dev/null || true
+wait "$CPID" 2>/dev/null || true
+CPID=
+echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store) and pprof all served"
