@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
+SARIF ?= homesight-vet.sarif
 
-.PHONY: build test race vet lint bench bench-build bench-store test-faults fuzz-smoke obs-smoke check
+.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-store test-faults fuzz-smoke obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -15,8 +16,15 @@ race: ## full test suite under the race detector
 vet: ## stock go vet
 	$(GO) vet ./...
 
-lint: ## project-specific analyzers (sig-gate, float-eq, dropped-err, unchecked-close, naked-goroutine, bare-alpha, zero-sentinel, printf-log)
-	$(GO) run ./cmd/homesight-vet ./...
+lint: ## project-specific analyzers (13 rules, see ANALYSIS.md); fails on baseline drift
+	$(GO) run ./cmd/homesight-vet -baseline .homesight-vet-baseline ./...
+
+vet-fix-check: ## fail if homesight-vet -fix would rewrite any file (suggested fixes must be applied or annotated)
+	$(GO) run ./cmd/homesight-vet -fix-dry-run ./...
+
+vet-sarif: ## write the machine-readable report CI uploads as an artifact
+	$(GO) run ./cmd/homesight-vet -format=sarif ./... > $(SARIF) || true
+	@grep -q '"version": "2.1.0"' $(SARIF) && echo "vet-sarif: wrote $(SARIF)"
 
 test-faults: ## deterministic fault-injection suite for the collection pipeline, under -race
 	$(GO) test -race -run 'TestFault' -count=1 ./internal/telemetry/...
@@ -31,12 +39,13 @@ bench-build: ## compile the benchmark harness without running it (check smoke)
 bench-store: ## store append/select/compression benchmarks; writes BENCH_store.json
 	HOMESIGHT_BENCH_STORE_JSON=$(abspath BENCH_store.json) $(GO) test -run TestBenchStoreJSON -count=1 ./internal/store
 
-fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codec and WAL replay
+fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codec, WAL replay, and vet directive parser
 	$(GO) test -run NONE -fuzz '^FuzzBlockCodec$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run NONE -fuzz '^FuzzDirectiveParser$$' -fuzztime $(FUZZTIME) ./internal/analysis
 
 obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
-check: vet race lint test-faults bench-build bench-store fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet + fault suite + bench smoke + store bench + fuzz smoke + obs smoke
+check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-store fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + store bench + fuzz smoke + obs smoke
 	@echo "check: all gates passed"

@@ -1,21 +1,37 @@
-// Package analysis is homesight's project-specific static-analysis pass:
-// a small, stdlib-only (go/ast + go/types) analyzer framework plus the
-// rules that mechanically enforce the repo's statistical and concurrency
-// invariants — most importantly that every correlation is routed through
-// the Definition 1 significance gate rather than the raw coefficients.
+// Package analysis is homesight's project-specific static-analysis
+// framework: a small, stdlib-only (go/ast + go/types) multi-pass analyzer
+// plus the rules that mechanically enforce the repo's statistical,
+// determinism, concurrency and observability invariants — most importantly
+// that every correlation is routed through the Definition 1 significance
+// gate and that every pipeline stage stays bit-deterministic.
 //
-// Each rule is a standalone Analyzer value in its own file; the
-// cmd/homesight-vet driver loads the module, runs every analyzer over
-// every package and prints findings as "file:line: [rule] message".
+// The framework runs in three passes over a type-checked module:
 //
-// Findings can be suppressed per line with a directive comment:
+//  1. Facts — analyzers with a Facts hook visit every package in
+//     dependency order and export cross-package facts about objects
+//     ("this function transitively reaches time.Now", "this function
+//     performs a blocking operation") or packages ("this package
+//     registers these metric families").
+//  2. Run — every analyzer's Run hook visits every file of every
+//     package, reading facts and reporting findings (optionally with
+//     machine-applicable suggested fixes).
+//  3. Finish — analyzers with a Finish hook run once over the whole
+//     module, for invariants that no single package can see (metrics
+//     catalog parity).
+//
+// The cmd/homesight-vet driver loads the module (type-checking packages
+// in parallel), runs every analyzer and renders findings as text, JSON
+// or SARIF; -fix applies suggested fixes, -baseline reconciles findings
+// against a checked-in baseline. Findings can be suppressed per line
+// with a directive comment:
 //
 //	x := corr.Pearson(a, b) //homesight:ignore sig-gate — reporting raw r
 //
 // either on the offending line or on a comment line directly above it.
 // The shorthand //homesight:rawcorr is an alias for
 // //homesight:ignore sig-gate, for the one invariant the paper itself
-// deliberately breaks (reporting raw in/out correlation).
+// deliberately breaks (reporting raw in/out correlation). See ANALYSIS.md
+// for the full rule catalog and the directive grammar.
 package analysis
 
 import (
@@ -32,11 +48,29 @@ type Finding struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Fix, when non-nil, is a machine-applicable suggested fix that
+	// resolves the finding (applied by homesight-vet -fix).
+	Fix *Fix
 }
 
 // String renders the driver's canonical "file:line: [rule] message" form.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Fix is a suggested textual replacement resolving one finding.
+type Fix struct {
+	// Message describes the rewrite ("replace %v with %w").
+	Message string
+	// Edits are non-overlapping byte-range replacements.
+	Edits []Edit
+}
+
+// Edit replaces the byte range [Start, End) of Filename with NewText.
+type Edit struct {
+	Filename   string
+	Start, End int
+	NewText    string
 }
 
 // Pass carries everything a rule needs to analyze one file of a
@@ -53,10 +87,33 @@ type Pass struct {
 	findings *[]Finding
 	rule     string
 	ignores  ignoreSet
+	facts    *FactStore
 }
 
 // Reportf records a finding at pos unless an ignore directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at node's position carrying a suggested
+// fix that replaces node's source range with newText. Like Reportf, an
+// ignore directive covering the line suppresses it.
+func (p *Pass) ReportFix(node ast.Node, newText, format string, args ...any) {
+	start := p.Fset.Position(node.Pos())
+	end := p.Fset.Position(node.End())
+	fix := &Fix{
+		Message: fmt.Sprintf("replace with %q", newText),
+		Edits: []Edit{{
+			Filename: start.Filename,
+			Start:    start.Offset,
+			End:      end.Offset,
+			NewText:  newText,
+		}},
+	}
+	p.report(node.Pos(), fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.ignores.covers(p.rule, position.Line) {
 		return
@@ -65,6 +122,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Rule:    p.rule,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
@@ -74,15 +132,27 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
-// Analyzer is one named rule. Run inspects a single file through the Pass
-// and reports findings with pass.Reportf.
+// ObjectFact returns the fact this pass's analyzer exported for obj
+// during the facts phase, if any.
+func (p *Pass) ObjectFact(obj types.Object) (any, bool) {
+	return p.facts.objectFact(p.rule, obj)
+}
+
+// Analyzer is one named rule. At least one of Run and Finish must be
+// set; Facts is optional and runs before either.
 type Analyzer struct {
 	// Name is the rule identifier used in findings and ignore directives.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Facts, when non-nil, runs once per package in dependency order
+	// (imported packages first) and exports cross-package facts.
+	Facts func(fp *FactPass)
 	// Run analyzes one file of a type-checked package.
 	Run func(pass *Pass)
+	// Finish, when non-nil, runs once after every package has been
+	// analyzed, for module-level invariants.
+	Finish func(mp *ModulePass)
 }
 
 // All returns every registered rule, sorted by name.
@@ -96,6 +166,11 @@ func All() []*Analyzer {
 		ZeroSentinel,
 		PrintfLog,
 		UncheckedClose,
+		Determinism,
+		CtxFlow,
+		LockHeld,
+		MetricsParity,
+		ErrWrap,
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules
@@ -125,38 +200,6 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunFile applies the analyzers to one file of pkg and returns findings
-// sorted by position.
-func RunFile(pkg *Package, file *ast.File, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	ignores := collectIgnores(pkg.Fset, file)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Fset:     pkg.Fset,
-			File:     file,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Path:     pkg.Path,
-			findings: &findings,
-			rule:     a.Name,
-			ignores:  ignores,
-		}
-		a.Run(pass)
-	}
-	sortFindings(findings)
-	return findings
-}
-
-// RunPackage applies the analyzers to every file of pkg.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, f := range pkg.Files {
-		findings = append(findings, RunFile(pkg, f, analyzers)...)
-	}
-	sortFindings(findings)
-	return findings
-}
-
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		if fs[i].Pos.Filename != fs[j].Pos.Filename {
@@ -165,102 +208,9 @@ func sortFindings(fs []Finding) {
 		if fs[i].Pos.Line != fs[j].Pos.Line {
 			return fs[i].Pos.Line < fs[j].Pos.Line
 		}
-		return fs[i].Rule < fs[j].Rule
+		if fs[i].Rule != fs[j].Rule {
+			return fs[i].Rule < fs[j].Rule
+		}
+		return fs[i].Message < fs[j].Message
 	})
-}
-
-// ignoreSet maps source lines to the rules suppressed there. The wildcard
-// rule "*" suppresses everything on the line.
-type ignoreSet map[int]ruleFlags
-
-func (s ignoreSet) covers(rule string, line int) bool {
-	for _, l := range []int{line, line - 1} {
-		if rules, ok := s[l]; ok && (rules[rule] || rules["*"]) {
-			// A directive on the line above only applies when it stands
-			// alone; collectIgnores records such lines under the comment's
-			// own line, so line-1 membership is exactly the "above" case.
-			if l == line || rules.standalone() {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-type ruleFlags map[string]bool
-
-func (r ruleFlags) standalone() bool { return r["standalone"] }
-
-// collectIgnores extracts //homesight:ignore and //homesight:rawcorr
-// directives from the file's comments.
-func collectIgnores(fset *token.FileSet, file *ast.File) ignoreSet {
-	out := ignoreSet{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			rules, ok := parseDirective(c.Text)
-			if !ok {
-				continue
-			}
-			pos := fset.Position(c.Slash)
-			flags := out[pos.Line]
-			if flags == nil {
-				flags = ruleFlags{}
-				out[pos.Line] = flags
-			}
-			for _, r := range rules {
-				flags[r] = true
-			}
-			if pos.Column == 1 || isCommentOnlyLine(fset, file, pos) {
-				flags["standalone"] = true
-			}
-		}
-	}
-	return out
-}
-
-// isCommentOnlyLine reports whether the comment at pos shares its line
-// with no code. Comments attached to declarations start at the line's
-// first token, so comparing against the file's token positions is enough:
-// a same-line code token would start at a smaller column.
-func isCommentOnlyLine(fset *token.FileSet, file *ast.File, pos token.Position) bool {
-	only := true
-	ast.Inspect(file, func(n ast.Node) bool {
-		if n == nil || !only {
-			return false
-		}
-		p := fset.Position(n.Pos())
-		if p.Line == pos.Line && p.Column < pos.Column {
-			only = false
-			return false
-		}
-		return true
-	})
-	return only
-}
-
-// parseDirective parses one comment line into the rules it suppresses.
-func parseDirective(text string) ([]string, bool) {
-	text = strings.TrimPrefix(text, "//")
-	text = strings.TrimSpace(text)
-	switch {
-	case strings.HasPrefix(text, "homesight:rawcorr"):
-		return []string{"sig-gate"}, true
-	case strings.HasPrefix(text, "homesight:ignore"):
-		rest := strings.TrimPrefix(text, "homesight:ignore")
-		// Everything after an em dash or "--" is rationale, not rule names.
-		for _, sep := range []string{"—", "--"} {
-			if i := strings.Index(rest, sep); i >= 0 {
-				rest = rest[:i]
-			}
-		}
-		var rules []string
-		for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-			rules = append(rules, f)
-		}
-		if len(rules) == 0 {
-			rules = []string{"*"}
-		}
-		return rules, true
-	}
-	return nil, false
 }

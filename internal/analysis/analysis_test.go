@@ -5,29 +5,33 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
-// wantRe extracts the backquoted pattern of a `// want `...`` comment.
+// wantRe extracts the backquoted pattern of a `// want `...“ comment.
 var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
 
 // wantComment is one expected diagnostic: a regexp that must match a
-// finding reported on the same line.
+// finding reported on the same line of the same file.
 type wantComment struct {
+	file    string // base name
 	line    int
 	pattern *regexp.Regexp
 	matched bool
 }
 
-// parseWants scans a fixture file for `// want `regexp`` comments.
+// parseWants scans one fixture file for `// want `regexp“ comments.
+// Works on any line-oriented text (Go sources and markdown catalogs).
 func parseWants(t *testing.T, filename string) []*wantComment {
 	t.Helper()
 	f, err := os.Open(filename)
 	if err != nil {
 		t.Fatalf("open fixture: %v", err)
 	}
-	defer func() { _ = f.Close() }() // read-only
-
+	defer func() { _ = f.Close() }() //homesight:ignore unchecked-close — read-only handle
 	var wants []*wantComment
 	sc := bufio.NewScanner(f)
 	for line := 1; sc.Scan(); line++ {
@@ -39,7 +43,7 @@ func parseWants(t *testing.T, filename string) []*wantComment {
 		if err != nil {
 			t.Fatalf("%s:%d: bad want pattern %q: %v", filename, line, m[1], err)
 		}
-		wants = append(wants, &wantComment{line: line, pattern: re})
+		wants = append(wants, &wantComment{file: filepath.Base(filename), line: line, pattern: re})
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatalf("scan fixture: %v", err)
@@ -47,10 +51,61 @@ func parseWants(t *testing.T, filename string) []*wantComment {
 	return wants
 }
 
-// TestGolden runs each rule over the fixture package named after it under
-// testdata/src and requires the findings to match the `// want` comments
-// exactly: every want matched by a finding on its line, every finding
-// claimed by a want.
+// fixtureWantFiles lists the files of a fixture dir that may carry want
+// comments: Go sources and markdown catalogs, but not .fixed goldens.
+func fixtureWantFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), ".md") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// fixtureCatalog returns the dir's CATALOG.md path when present, else "".
+func fixtureCatalog(dir string) string {
+	p := filepath.Join(dir, "CATALOG.md")
+	if _, err := os.Stat(p); err == nil {
+		return p
+	}
+	return ""
+}
+
+// runFixture runs one rule's full three-phase analysis over its fixture
+// package.
+func runFixture(t *testing.T, mod *Module, rule string) (*Package, []Finding) {
+	t.Helper()
+	analyzers, err := ByName(rule)
+	if err != nil {
+		t.Fatalf("fixture dir %q does not name a rule: %v", rule, err)
+	}
+	dir := filepath.Join("testdata", "src", rule)
+	pkg, err := mod.LoadDir(dir, "fixture/"+rule)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture must type-check; got %v", pkg.TypeErrors)
+	}
+	res, err := Run(mod, []*Package{pkg}, analyzers, RunOptions{Catalog: fixtureCatalog(dir)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return pkg, res.Findings
+}
+
+// TestGolden runs each rule's full three-phase analysis over the fixture
+// package named after it under testdata/src and requires the findings to
+// match the `// want` comments exactly: every want matched by a finding
+// on its line, every finding claimed by a want. Wants are parsed from
+// every Go source and markdown file in the fixture dir, so doc-side
+// findings (metrics-parity's catalog checks) are golden-tested too.
 func TestGolden(t *testing.T) {
 	mod, err := NewModule(".")
 	if err != nil {
@@ -60,39 +115,36 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read testdata/src: %v", err)
 	}
+	// Rule <-> fixture-dir bijection, both directions.
+	dirs := map[string]bool{}
+	for _, e := range entries {
+		dirs[e.Name()] = true
+	}
+	for _, a := range All() {
+		if !dirs[a.Name] {
+			t.Errorf("rule %s has no fixture dir under testdata/src", a.Name)
+		}
+	}
 	if len(entries) != len(All()) {
 		t.Errorf("testdata/src has %d fixture dirs, want one per rule (%d)", len(entries), len(All()))
 	}
 	for _, entry := range entries {
 		rule := entry.Name()
 		t.Run(rule, func(t *testing.T) {
-			analyzers, err := ByName(rule)
-			if err != nil {
-				t.Fatalf("fixture dir %q does not name a rule: %v", rule, err)
-			}
+			_, findings := runFixture(t, mod, rule)
 			dir := filepath.Join("testdata", "src", rule)
-			pkg, err := mod.LoadDir(dir, "fixture/"+rule)
-			if err != nil {
-				t.Fatalf("load fixture: %v", err)
-			}
-			if len(pkg.TypeErrors) > 0 {
-				t.Fatalf("fixture must type-check; got %v", pkg.TypeErrors)
-			}
-
 			var wants []*wantComment
-			for _, file := range pkg.Files {
-				filename := pkg.Fset.Position(file.Pos()).Filename
+			for _, filename := range fixtureWantFiles(t, dir) {
 				wants = append(wants, parseWants(t, filename)...)
 			}
 			if len(wants) == 0 {
 				t.Fatalf("fixture %s has no // want comments", rule)
 			}
-
-			findings := RunPackage(pkg, analyzers)
 			for _, f := range findings {
 				claimed := false
 				for _, w := range wants {
-					if w.line == f.Pos.Line && !w.matched && w.pattern.MatchString(f.Message) {
+					if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line &&
+						!w.matched && w.pattern.MatchString(f.Message) {
 						w.matched = true
 						claimed = true
 						break
@@ -104,42 +156,163 @@ func TestGolden(t *testing.T) {
 			}
 			for _, w := range wants {
 				if !w.matched {
-					t.Errorf("line %d: want %q, got no matching finding", w.line, w.pattern)
+					t.Errorf("%s:%d: want %q, got no matching finding", w.file, w.line, w.pattern)
 				}
 			}
 		})
 	}
 }
 
-// TestSelfCheck asserts the vetted repository stays clean: every package in
-// the module type-checks and produces zero findings under every rule. This
-// is the same invariant `go run ./cmd/homesight-vet ./...` enforces in CI.
+// TestFixGoldens pins the -fix output byte-exactly: every fixture with
+// fixable findings carries a fixture.go.fixed golden, applying the fixes
+// reproduces it, and re-running the rule on the fixed source yields no
+// further fixable findings (idempotency).
+func TestFixGoldens(t *testing.T) {
+	mod, err := NewModule(".")
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("read testdata/src: %v", err)
+	}
+	for _, entry := range entries {
+		rule := entry.Name()
+		t.Run(rule, func(t *testing.T) {
+			_, findings := runFixture(t, mod, rule)
+			fixable := 0
+			for _, f := range findings {
+				if f.Fix != nil {
+					fixable++
+				}
+			}
+			golden := filepath.Join("testdata", "src", rule, "fixture.go.fixed")
+			if fixable == 0 {
+				if _, err := os.Stat(golden); err == nil {
+					t.Fatalf("%s has a .fixed golden but no fixable findings", rule)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("rule %s reports %d fixable findings but has no fixture.go.fixed golden: %v",
+					rule, fixable, err)
+			}
+			fixes, err := ApplyFixes(findings, nil)
+			if err != nil {
+				t.Fatalf("ApplyFixes: %v", err)
+			}
+			if len(fixes) != 1 {
+				t.Fatalf("ApplyFixes touched %d files, want 1", len(fixes))
+			}
+			if string(fixes[0].New) != string(want) {
+				t.Errorf("fixed output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, fixes[0].New, want)
+			}
+
+			// Idempotency: the fixed source, re-analyzed, has no fixes left.
+			tmp := t.TempDir()
+			if err := os.WriteFile(filepath.Join(tmp, "fixture.go"), fixes[0].New, 0o644); err != nil {
+				t.Fatalf("write fixed fixture: %v", err)
+			}
+			pkg2, err := mod.LoadDir(tmp, "fixture/"+rule)
+			if err != nil {
+				t.Fatalf("reload fixed fixture: %v", err)
+			}
+			analyzers, _ := ByName(rule)
+			res2, err := Run(mod, []*Package{pkg2}, analyzers, RunOptions{})
+			if err != nil {
+				t.Fatalf("rerun: %v", err)
+			}
+			for _, f := range res2.Findings {
+				if f.Fix != nil {
+					t.Errorf("fix is not idempotent: fixed source still yields fixable %s", f)
+				}
+			}
+		})
+	}
+}
+
+// repoRun loads and analyzes the whole module exactly once and shares the
+// result across tests (the load is the expensive part).
+var repoRun struct {
+	once     sync.Once
+	mod      *Module
+	pkgs     []*Package
+	res      RunResult
+	loadTime time.Duration
+	err      error
+}
+
+func loadRepoRun(t *testing.T) {
+	t.Helper()
+	repoRun.once.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			repoRun.err = err
+			return
+		}
+		t0 := time.Now()
+		mod, err := NewModule(root)
+		if err != nil {
+			repoRun.err = err
+			return
+		}
+		pkgs, err := mod.LoadAll()
+		if err != nil {
+			repoRun.err = err
+			return
+		}
+		repoRun.loadTime = time.Since(t0)
+		res, err := Run(mod, pkgs, All(), RunOptions{})
+		if err != nil {
+			repoRun.err = err
+			return
+		}
+		repoRun.mod, repoRun.pkgs, repoRun.res = mod, pkgs, res
+	})
+	if repoRun.err != nil {
+		t.Fatalf("repo analysis: %v", repoRun.err)
+	}
+}
+
+// TestSelfCheck asserts the vetted repository stays clean: every package
+// in the module type-checks and the full three-phase run (facts, rules,
+// module-level finish) produces zero findings. This is the same
+// invariant `go run ./cmd/homesight-vet ./...` enforces in CI.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	root, err := FindModuleRoot(".")
-	if err != nil {
-		t.Fatalf("FindModuleRoot: %v", err)
-	}
-	mod, err := NewModule(root)
-	if err != nil {
-		t.Fatalf("NewModule: %v", err)
-	}
-	pkgs, err := mod.LoadAll()
-	if err != nil {
-		t.Fatalf("LoadAll: %v", err)
-	}
-	if len(pkgs) == 0 {
+	loadRepoRun(t)
+	if len(repoRun.pkgs) == 0 {
 		t.Fatal("LoadAll returned no packages")
 	}
-	for _, pkg := range pkgs {
+	for _, pkg := range repoRun.pkgs {
 		for _, te := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", pkg.Path, te)
 		}
-		for _, f := range RunPackage(pkg, All()) {
-			t.Errorf("repo is not vet-clean: %s", f)
-		}
+	}
+	for _, f := range repoRun.res.Findings {
+		t.Errorf("repo is not vet-clean: %s", f)
+	}
+}
+
+// TestFullRunUnderCeiling asserts the parallel loader keeps a whole-repo
+// analysis comfortably inside the CI budget. The ceiling is deliberately
+// generous (the observed full run is a few seconds); it exists to catch
+// an accidental return to serial loading or a quadratic pass, not to
+// benchmark.
+func TestFullRunUnderCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loadRepoRun(t)
+	const ceiling = 60 * time.Second
+	total := repoRun.loadTime + repoRun.res.Facts + repoRun.res.Analyze + repoRun.res.Finish
+	if total > ceiling {
+		t.Errorf("full-repo load+analysis took %v, ceiling %v (load %v, facts %v, analyze %v, finish %v)",
+			total, ceiling, repoRun.loadTime, repoRun.res.Facts, repoRun.res.Analyze, repoRun.res.Finish)
 	}
 }
 
@@ -167,6 +340,7 @@ func TestParseDirective(t *testing.T) {
 		{"//homesight:ignore float-eq, bare-alpha -- two rules", []string{"float-eq", "bare-alpha"}, true},
 		{"//homesight:ignore", []string{"*"}, true},
 		{"// ordinary comment", nil, false},
+		{"//homesight:stats", nil, false},
 	}
 	for _, tc := range cases {
 		rules, ok := parseDirective(tc.text)

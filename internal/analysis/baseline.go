@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The baseline file records accepted findings so that the CI gate fails
+// only on drift: a finding not in the baseline is new (fail), a baseline
+// entry matching no finding is stale (fail, the debt was paid — delete
+// the entry). Entries are line-number-free so unrelated edits above a
+// finding do not churn the file:
+//
+//	# comment
+//	internal/store/store.go: [lock-held] mutex s.mu held across ...
+//
+// Identical findings on different lines of one file are multiset-counted:
+// the entry must appear once per occurrence.
+
+// Baseline is a multiset of accepted finding keys.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey is the line-number-free identity of a finding.
+func baselineKey(root string, f Finding) string {
+	return fmt.Sprintf("%s: [%s] %s", Relativize(root, f.Pos.Filename), f.Rule, f.Message)
+}
+
+// ReadBaseline parses a baseline file; a missing file is an empty
+// baseline (so -baseline can point at a not-yet-created file).
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() //homesight:ignore unchecked-close — read-only handle; Scan errors surface separately
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	return b, sc.Err()
+}
+
+// Reconcile splits findings into new (not covered by the baseline) and
+// returns the stale baseline entries (covering nothing), each with its
+// uncovered multiplicity.
+func (b *Baseline) Reconcile(root string, findings []Finding) (newFindings []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := baselineKey(root, f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return newFindings, stale
+}
+
+// WriteBaseline writes the baseline covering every given finding, sorted
+// for stable diffs.
+func WriteBaseline(w io.Writer, root string, findings []Finding) error {
+	if _, err := fmt.Fprintln(w, "# homesight-vet baseline — accepted findings; regenerate with homesight-vet -write-baseline"); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, baselineKey(root, f))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

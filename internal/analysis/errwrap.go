@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrap flags fmt.Errorf calls that format an error value with %v or
+// %s instead of wrapping it with %w. Formatting flattens the error to a
+// string: errors.Is/As stop working across the boundary, so callers
+// cannot distinguish a WAL corruption from a full disk, and the
+// telemetry retry loop cannot match sentinel errors through the wrapper.
+// The finding carries a suggested fix rewriting the verb to %w in the
+// format literal, which -fix applies byte-exactly.
+//
+// Only plain %v/%s verbs (no flags or width) bound to an error-typed
+// argument are rewritten; %+v and friends are left alone — a verb with
+// flags usually means the caller wanted the formatted representation.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf formats an error with %v/%s, severing the errors.Is/As chain; " +
+		"wrap with %w instead",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	ast.Inspect(pass.File, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+			return true
+		}
+		if len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := plainVerbOffsets(format)
+		rewrote := false
+		for vi, off := range verbs {
+			argIdx := 1 + vi
+			if argIdx >= len(call.Args) {
+				break
+			}
+			if !isErrorType(pass.TypeOf(call.Args[argIdx])) {
+				continue
+			}
+			format = format[:off] + "w" + format[off+1:]
+			rewrote = true
+		}
+		if !rewrote {
+			return true
+		}
+		// Re-quote with the original literal's quoting style so the fix
+		// is byte-minimal (raw strings keep their backquotes).
+		newLit := requote(lit.Value, format)
+		pass.ReportFix(lit, newLit,
+			"fmt.Errorf formats an error with %%v/%%s, severing errors.Is/As; wrap it with %%w")
+		return true
+	})
+}
+
+// plainVerbOffsets returns, for each verb in format (in order), the
+// offset of its verb character when the verb is a plain %v or %s (no
+// flags, width, or precision); other verbs occupy their argument slot
+// with offset -1. %% consumes no argument.
+func plainVerbOffsets(format string) map[int]int {
+	verbs := map[int]int{}
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			continue
+		}
+		j := i + 1
+		if format[j] == '%' {
+			i = j
+			continue
+		}
+		// Skip flags, width, precision, and argument indexes to find the
+		// verb character.
+		plain := true
+		for j < len(format) {
+			c := format[j]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				(c >= '1' && c <= '9') || c == '.' || c == '*' || c == '[' || c == ']' {
+				plain = false
+				j++
+				continue
+			}
+			break
+		}
+		if j >= len(format) {
+			break
+		}
+		if plain && (format[j] == 'v' || format[j] == 's') {
+			verbs[arg] = j
+		} else {
+			verbs[arg] = -1
+		}
+		arg++
+		i = j
+	}
+	// Drop the non-rewritable slots so callers range only over real hits.
+	for k, v := range verbs {
+		if v < 0 {
+			delete(verbs, k)
+		}
+	}
+	return verbs
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface) ||
+		types.Implements(types.NewPointer(t), errorInterface)
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// requote renders format back using old's quoting style.
+func requote(old, format string) string {
+	if len(old) > 0 && old[0] == '`' {
+		// A raw literal can hold the new text verbatim unless the rewrite
+		// introduced characters a raw string cannot (it cannot — we only
+		// changed a verb letter).
+		return "`" + format + "`"
+	}
+	return strconv.Quote(format)
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FileFix is the computed rewrite of one file: its new contents and the
+// findings whose fixes were applied to produce them.
+type FileFix struct {
+	Filename string
+	Old, New []byte
+	Applied  []Finding
+}
+
+// ApplyFixes computes the fixed contents of every file touched by the
+// findings' suggested fixes, reading originals through read (os.ReadFile
+// when nil). Overlapping edits are resolved deterministically: findings
+// are processed in position order and a fix whose edits overlap an
+// already-accepted edit is skipped (it will be reported again on the
+// next run, after the first fix landed). Files whose contents would not
+// change are omitted, so applying fixes twice is a no-op.
+func ApplyFixes(findings []Finding, read func(string) ([]byte, error)) ([]FileFix, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	type edit struct {
+		Edit
+		finding Finding
+	}
+	perFile := map[string][]edit{}
+	sorted := make([]Finding, len(findings))
+	copy(sorted, findings)
+	sortFindings(sorted)
+	for _, f := range sorted {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			perFile[e.Filename] = append(perFile[e.Filename], edit{Edit: e, finding: f})
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for name := range perFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+
+	var out []FileFix
+	for _, name := range files {
+		src, err := read(name)
+		if err != nil {
+			return nil, fmt.Errorf("apply fixes: %w", err)
+		}
+		edits := perFile[name]
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+		// Accept edits left to right, skipping overlaps and out-of-range
+		// edits (stale offsets from a concurrently-edited file).
+		var accepted []edit
+		lastEnd := -1
+		for _, e := range edits {
+			if e.Start < lastEnd || e.Start > e.End || e.End > len(src) {
+				continue
+			}
+			accepted = append(accepted, e)
+			lastEnd = e.End
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		fixed := make([]byte, 0, len(src))
+		prev := 0
+		ff := FileFix{Filename: name, Old: src}
+		for _, e := range accepted {
+			fixed = append(fixed, src[prev:e.Start]...)
+			fixed = append(fixed, e.NewText...)
+			prev = e.End
+			ff.Applied = append(ff.Applied, e.finding)
+		}
+		fixed = append(fixed, src[prev:]...)
+		if string(fixed) == string(src) {
+			continue
+		}
+		ff.New = fixed
+		out = append(out, ff)
+	}
+	return out, nil
+}
+
+// WriteFixes writes each FileFix back to disk, preserving permissions.
+func WriteFixes(fixes []FileFix) error {
+	for _, ff := range fixes {
+		mode := os.FileMode(0o644)
+		if info, err := os.Stat(ff.Filename); err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(ff.Filename, ff.New, mode); err != nil {
+			return fmt.Errorf("write fixes: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHeld flags blocking operations executed while a sync.Mutex or
+// sync.RWMutex is held: channel sends/receives, defaultless selects,
+// time.Sleep, sync.WaitGroup.Wait, and net/os I/O. A blocked goroutine
+// that owns a hot lock stalls every other goroutine behind that lock —
+// under the fleet-scale ingest target, one slow disk or one full channel
+// must never freeze the collector's accept path.
+//
+// The rule runs in two layers:
+//
+//   - Facts: every function that performs a blocking operation directly
+//     or transitively (through module-internal calls) exports a fact
+//     naming the operation.
+//   - Run: each Lock()/RLock() call opens a held region — up to the
+//     matching same-block Unlock()/RUnlock(), or to the end of the
+//     function when the unlock is deferred — and every blocking node or
+//     fact-carrying call inside the region is flagged.
+//
+// Intentionally serialized I/O (a WAL write under the store mutex is the
+// design) carries //homesight:ignore lock-held with a rationale; the
+// function still exports its blocking fact, so further lock-holding
+// callers up the stack stay visible.
+var LockHeld = &Analyzer{
+	Name: "lock-held",
+	Doc: "blocking operation (channel op, select, Sleep, WaitGroup.Wait, net/os " +
+		"I/O) while a mutex is held; move it off the critical section",
+	Facts: factsLockHeld,
+	Run:   runLockHeld,
+}
+
+// blocksFact marks a function that performs a blocking operation.
+type blocksFact struct {
+	// Why names the operation, with the call chain when transitive
+	// ("flushPending → sleep → channel receive").
+	Why string
+}
+
+// osFileBlockingMethods are the *os.File methods that hit the disk.
+var osFileBlockingMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "ReadFrom": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Seek": true, "Truncate": true,
+}
+
+// osBlockingFuncs are the package-level os filesystem operations.
+var osBlockingFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "Truncate": true, "Link": true, "Symlink": true,
+}
+
+// netBlockingFuncs are the package-level net dial/listen entry points.
+var netBlockingFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true,
+}
+
+// netBlockingMethods block on any net receiver (Conn, Listener, ...).
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "AcceptTCP": true, "Close": true,
+}
+
+// directBlockReason classifies one AST node as a direct blocking
+// operation ("" when clean). factLookup resolves module-internal callees
+// to their exported blocksFact (nil during pure syntactic scans).
+func directBlockReason(info *types.Info, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" {
+			return "channel receive"
+		}
+	case *ast.SelectStmt:
+		for _, clause := range n.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default: non-blocking poll
+			}
+		}
+		return "select"
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel"
+			}
+		}
+	case *ast.CallExpr:
+		fn := calledFunc(info, n)
+		if fn == nil || fn.Pkg() == nil {
+			return ""
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return ""
+			}
+			rpkg, rname := named.Obj().Pkg().Path(), named.Obj().Name()
+			switch {
+			case rpkg == "sync" && rname == "WaitGroup" && fn.Name() == "Wait":
+				return "sync.WaitGroup.Wait"
+			case rpkg == "os" && rname == "File" && osFileBlockingMethods[fn.Name()]:
+				return "os.File." + fn.Name()
+			case rpkg == "net" && netBlockingMethods[fn.Name()]:
+				return "net." + rname + "." + fn.Name()
+			}
+			return ""
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Sleep" {
+				return "time.Sleep"
+			}
+		case "os":
+			if osBlockingFuncs[fn.Name()] {
+				return "os." + fn.Name()
+			}
+		case "net":
+			if netBlockingFuncs[fn.Name()] {
+				return "net." + fn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// factsLockHeld exports a blocksFact for every function that blocks,
+// directly or transitively, mirroring the determinism fact plumbing.
+func factsLockHeld(fp *FactPass) {
+	info := fp.Pkg.Info
+	type fnState struct {
+		obj  types.Object
+		body *ast.BlockStmt
+		why  string
+	}
+	var fns []*fnState
+	index := map[types.Object]*fnState{}
+	for _, file := range fp.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			st := &fnState{obj: obj, body: fd.Body}
+			fns = append(fns, st)
+			index[obj] = st
+		}
+	}
+	whyOf := func(st *fnState) string {
+		why := st.why
+		ast.Inspect(st.body, func(n ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			if r := directBlockReason(info, n); r != "" {
+				why = r
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if f, ok := fp.ImportObjectFact(fn); ok {
+				why = fn.Name() + " → " + f.(blocksFact).Why
+				return false
+			}
+			if st2, ok := index[fn]; ok && st2.why != "" {
+				why = fn.Name() + " → " + st2.why
+				return false
+			}
+			return true
+		})
+		return why
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, st := range fns {
+			if st.why != "" {
+				continue
+			}
+			if why := whyOf(st); why != "" {
+				st.why = why
+				changed = true
+			}
+		}
+	}
+	for _, st := range fns {
+		if st.why != "" {
+			fp.ExportObjectFact(st.obj, blocksFact{Why: st.why})
+		}
+	}
+}
+
+// heldRegion is a byte range of one function during which a mutex is
+// held.
+type heldRegion struct {
+	lock     string // rendered lock expression ("s.mu")
+	from, to ast.Node
+}
+
+func runLockHeld(pass *Pass) {
+	for _, decl := range pass.File.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var regions []heldRegion
+		collectHeldRegions(pass, fd.Body.List, fd.Body, &regions)
+		if len(regions) == 0 {
+			continue
+		}
+		reportHeldBlocking(pass, fd.Body, regions)
+	}
+}
+
+// collectHeldRegions scans a statement list (and nested blocks,
+// including select/switch clause bodies) for Lock/RLock calls and
+// computes the region each holds, bounded by funcBody when the unlock is
+// deferred or missing.
+func collectHeldRegions(pass *Pass, stmts []ast.Stmt, funcBody *ast.BlockStmt, out *[]heldRegion) {
+	for i, stmt := range stmts {
+		// Recurse into nested statement lists first (if/for bodies,
+		// select/switch clauses).
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				if n != stmt {
+					collectHeldRegions(pass, n.List, funcBody, out)
+					return false
+				}
+			case *ast.CommClause:
+				collectHeldRegions(pass, n.Body, funcBody, out)
+				return false
+			case *ast.CaseClause:
+				collectHeldRegions(pass, n.Body, funcBody, out)
+				return false
+			}
+			return true
+		})
+		recvStr, isR := lockCall(pass, stmt)
+		if recvStr == "" {
+			continue
+		}
+		// Find the matching release in the remainder of this list.
+		var region heldRegion
+		region.lock = recvStr
+		region.from = stmt
+		region.to = funcBody // default: held to function end
+		for _, later := range stmts[i+1:] {
+			switch s := later.(type) {
+			case *ast.DeferStmt:
+				if r, u := unlockCallExpr(pass, s.Call, isR); u && r == recvStr {
+					region.to = funcBody
+				}
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if r, u := unlockCallExpr(pass, call, isR); u && r == recvStr {
+						region.to = s
+					}
+				}
+			}
+			if region.to != funcBody {
+				break
+			}
+		}
+		*out = append(*out, region)
+	}
+}
+
+// lockCall matches `expr.Lock()` / `expr.RLock()` on a sync mutex,
+// returning the rendered receiver and whether it is a read lock.
+func lockCall(pass *Pass, stmt ast.Stmt) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	name, recv := syncMutexMethod(pass, call)
+	switch name {
+	case "Lock":
+		return recv, false
+	case "RLock":
+		return recv, true
+	}
+	return "", false
+}
+
+// unlockCallExpr matches the release pairing a lock: Unlock for Lock,
+// RUnlock for RLock.
+func unlockCallExpr(pass *Pass, call *ast.CallExpr, isR bool) (string, bool) {
+	name, recv := syncMutexMethod(pass, call)
+	if (isR && name == "RUnlock") || (!isR && name == "Unlock") {
+		return recv, true
+	}
+	return "", false
+}
+
+// syncMutexMethod resolves a call to a sync.Mutex/RWMutex method,
+// returning the method name and the rendered receiver expression.
+func syncMutexMethod(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", ""
+	}
+	return fn.Name(), exprString(sel.X)
+}
+
+// exprString renders a lock receiver expression for matching and
+// messages ("s.mu", "(*e).mu").
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "?"
+}
+
+// reportHeldBlocking flags blocking nodes inside held regions.
+func reportHeldBlocking(pass *Pass, body *ast.BlockStmt, regions []heldRegion) {
+	// A select's comm clauses are not individually blocking — the select
+	// statement is the single blocking point; collect them so the walk
+	// skips their channel operations (clause bodies still run under the
+	// lock and are walked normally).
+	commStmts := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			commStmts[cc.Comm] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if stmt, ok := n.(ast.Stmt); ok && commStmts[stmt] {
+			return false
+		}
+		// Do not descend into nested function literals: a goroutine or
+		// callback launched under the lock runs on its own stack (a
+		// deliberate channel-handoff pattern), not under the caller's
+		// critical section — except that the region bounds of the literal
+		// body still apply if the literal is invoked inline, a case rare
+		// enough to leave to the race detector.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		reason := directBlockReason(pass.Info, n)
+		var factWhy string
+		if reason == "" {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := calledFunc(pass.Info, call); fn != nil {
+					if f, ok := pass.ObjectFact(fn); ok {
+						factWhy = fn.Name() + " → " + f.(blocksFact).Why
+					}
+				}
+			}
+		}
+		if reason == "" && factWhy == "" {
+			return true
+		}
+		for _, reg := range regions {
+			if n.Pos() <= reg.from.End() || n.Pos() >= reg.to.End() {
+				continue
+			}
+			if reason != "" {
+				pass.Reportf(n.Pos(),
+					"blocking %s while %s is held; move it off the critical section or annotate //homesight:ignore lock-held",
+					reason, reg.lock)
+			} else {
+				pass.Reportf(n.Pos(),
+					"call blocks while %s is held (%s); move it off the critical section or annotate //homesight:ignore lock-held",
+					reg.lock, factWhy)
+			}
+			break
+		}
+		return true
+	})
+}

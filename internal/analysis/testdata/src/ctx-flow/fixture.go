@@ -1,0 +1,63 @@
+// Package fixture exercises the ctx-flow rule: context.Background() or
+// TODO() handed to a ctx-accepting callee is flagged when a ctx
+// parameter was available (fixable) or should have been threaded.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func dropped(ctx context.Context) error {
+	return work(context.Background()) // want `ctx parameter ctx is dropped`
+}
+
+func todoDropped(ctx context.Context) error {
+	return work(context.TODO()) // want `ctx parameter ctx is dropped`
+}
+
+func midStack() error {
+	return work(context.Background()) // want `receives a fresh context\.Background\(\) mid-stack`
+}
+
+// Exported functions are entry-shaped: the root context is allowed to be
+// born here. No finding.
+func Exported() error {
+	return work(context.Background())
+}
+
+func threaded(ctx context.Context) error {
+	return work(ctx) // the chain is intact: no finding
+}
+
+func derived(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(c) // deriving from the parameter: no finding
+}
+
+// A closure without its own ctx parameter inherits the enclosing scope's.
+func closure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `ctx parameter ctx is dropped`
+	}
+}
+
+// A closure with its own ctx parameter is its own scope.
+func ownParam() func(context.Context) error {
+	return func(inner context.Context) error {
+		return work(context.Background()) // want `ctx parameter inner is dropped`
+	}
+}
+
+func ignores(ctx context.Context) error {
+	_ = ctx // merely unused ctx: no finding
+	return nil
+}
+
+func annotated() error {
+	//homesight:ignore ctx-flow — background refresh must outlive any single caller
+	return work(context.Background())
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the errwrap rule: fmt.Errorf formatting an
+// error with a plain %v or %s severs the errors.Is/As chain and is
+// rewritten to %w by the suggested fix.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func flatten(err error) error {
+	return fmt.Errorf("open store: %v", err) // want `severing errors\.Is/As`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("open store: %s", err) // want `severing errors\.Is/As`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("open store: %w", err) // already wrapping: no finding
+}
+
+func notError(n int) error {
+	return fmt.Errorf("bad count: %v", n) // non-error argument: no finding
+}
+
+func plusV(err error) error {
+	return fmt.Errorf("debug dump: %+v", err) // flagged verbs only when plain: %+v asked for formatting
+}
+
+func mixed(path string, err error) error {
+	return fmt.Errorf("read %s: %v", path, err) // want `severing errors\.Is/As`
+}
+
+func raw(err error) error {
+	return fmt.Errorf(`raw literal: %v`, err) // want `severing errors\.Is/As`
+}
+
+func annotated(err error) error {
+	return fmt.Errorf("boundary: %v", err) //homesight:ignore errwrap — error crosses a serialization boundary and must flatten
+}

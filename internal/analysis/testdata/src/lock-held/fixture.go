@@ -1,0 +1,104 @@
+// Package fixture exercises the lock-held rule: blocking operations
+// inside a mutex critical section are flagged, directly and through
+// transitive call chains.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func sleepUnder(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time\.Sleep while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func deferUnlock(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	<-g.ch // want `blocking channel receive while g\.mu is held`
+}
+
+func afterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond) // after release: no finding
+}
+
+func sendUnder(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want `blocking channel send while g\.mu is held`
+}
+
+func readLockCounts(g *guarded) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	select { // want `blocking select while g\.rw is held`
+	case <-g.ch:
+	case g.ch <- 1:
+	}
+}
+
+func nonBlockingPoll(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // default clause makes this a poll: no finding
+	case <-g.ch:
+	default:
+	}
+}
+
+func waitUnder(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `blocking sync\.WaitGroup\.Wait while g\.mu is held`
+}
+
+func diskWrite() error {
+	return os.WriteFile("fixture.tmp", nil, 0o644) // not under a lock here: no finding
+}
+
+func blocksTransitively(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = diskWrite() // want `call blocks while g\.mu is held \(diskWrite → os\.WriteFile\)`
+}
+
+// A goroutine launched under the lock runs on its own stack: no finding
+// for the blocking work inside the literal.
+func handoff(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- 1
+	}()
+}
+
+func annotatedUnder(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) //homesight:ignore lock-held — deliberate serialization point
+}
+
+// The annotation vouches for the site above, not the taint: the function
+// still exports its blocking fact, so lock-holding callers stay flagged.
+func callsAnnotated(g, h *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	annotatedUnder(h) // want `call blocks while g\.mu is held \(annotatedUnder → time\.Sleep\)`
+}
+
+func otherLockFree(g *guarded, other *sync.Mutex) {
+	other.Lock()
+	other.Unlock()
+	time.Sleep(time.Millisecond) // no lock held here: no finding
+}

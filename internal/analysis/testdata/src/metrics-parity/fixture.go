@@ -1,0 +1,23 @@
+// Package fixture exercises the metrics-parity rule against the
+// CATALOG.md checked in beside it: registered families need catalog
+// rows, catalog rows need registrations, and //homesight:stats struct
+// fields need catalog mentions.
+package fixture
+
+import "homesight/internal/obs"
+
+// Snapshot mirrors the fixture's exported families.
+//
+//homesight:stats
+type Snapshot struct {
+	Documented   int64
+	Undocumented int64 // want `stats field Snapshot\.Undocumented is not mentioned`
+	hidden       int64 // unexported fields are not part of the mirror contract
+}
+
+func register(reg *obs.Registry) {
+	reg.Counter("homesight_fix_documented_total", "has a catalog row")
+	reg.Counter("homesight_fix_missing_total", "no catalog row") // want `registered but has no catalog row`
+	name := "homesight_fix_" + "computed_total"
+	reg.Counter(name, "computed name") // want `metric family name must be a string literal`
+}

@@ -348,6 +348,7 @@ func (e *Env) ensureGateways() {
 		e.gateways = make([]*gatewayCache, nHomes)
 		// The aggregate build itself fans out: each slot i is written by
 		// exactly one worker, and nothing reads e.gateways until Do returns.
+		//homesight:ignore ctx-flow — Once-guarded cache build: later callers share the result, so the first caller's cancellation must not poison the cache
 		_ = e.forEach(context.Background(), nHomes, func(i int) {
 			h := e.Home(i)
 			gc := &gatewayCache{

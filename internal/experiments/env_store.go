@@ -62,7 +62,7 @@ func (e *Env) openStore(dir string) error {
 	}
 	if st.Step() != time.Minute {
 		closeErr := st.Close()
-		return fmt.Errorf("experiments: store %s has step %v, want 1m (close: %v)", dir, st.Step(), closeErr)
+		return fmt.Errorf("experiments: store %s has step %v, want 1m (close: %w)", dir, st.Step(), closeErr)
 	}
 	e.store = st
 	e.storeGWs = make(map[string]bool)

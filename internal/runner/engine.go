@@ -25,6 +25,19 @@ type Engine struct {
 	// panics, timeouts, worker occupancy). nil → a process-private
 	// bundle, so instrumentation is always on but exported nowhere.
 	Obs *RunnerMetrics
+	// Now is the clock used for wall/duration metrics; nil → time.Now.
+	// Injectable so reproducibility harnesses can run the engine on a
+	// fake clock.
+	Now func() time.Time
+}
+
+// now reads the engine clock.
+func (g *Engine) now() time.Time {
+	clock := g.Now
+	if clock == nil {
+		clock = time.Now
+	}
+	return clock()
 }
 
 // metrics returns the engine's instrument bundle, defaulting privately.
@@ -50,7 +63,7 @@ type Report struct {
 // may be nil for experiments that don't need one (tests); when set, its
 // cache counters are attached to the metrics.
 func (g *Engine) Run(ctx context.Context, env *experiments.Env, exps []Experiment) ([]Report, telemetry.RunMetrics, error) {
-	start := time.Now()
+	start := g.now()
 	n := len(exps)
 	reports := make([]Report, n)
 
@@ -95,9 +108,9 @@ func (g *Engine) Run(ctx context.Context, env *experiments.Env, exps []Experimen
 			for i := range jobs {
 				x := exps[i]
 				om.BusyWorkers.Inc()
-				t0 := time.Now()
+				t0 := g.now()
 				res, err := g.runOne(ctx, env, x)
-				d := time.Since(t0)
+				d := g.now().Sub(t0)
 				om.BusyWorkers.Dec()
 				om.Durations.With(x.ID()).Observe(d.Seconds())
 				reports[i] = Report{ID: x.ID(), Result: res, Err: err, Duration: d}
@@ -130,7 +143,7 @@ dispatch:
 
 	m := telemetry.RunMetrics{
 		Parallelism:        p,
-		WallSeconds:        time.Since(start).Seconds(),
+		WallSeconds:        g.now().Sub(start).Seconds(),
 		GoroutineHighWater: int(highWater.Load()),
 	}
 	var errs []error

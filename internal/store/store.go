@@ -87,6 +87,10 @@ type Config struct {
 	// Metrics receives the store's instruments; nil gets a private
 	// registry (counting stays on, nothing is exported).
 	Metrics *Metrics
+	// Now is the clock behind fsync-duration metrics; nil → time.Now.
+	// Injectable so the store's encoded bytes and tests never depend on
+	// the wall clock.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(obs.NewRegistry())
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
@@ -124,6 +131,8 @@ type storeMeta struct {
 }
 
 // Stats is a point-in-time snapshot of the store.
+//
+//homesight:stats
 type Stats struct {
 	Reports        int64   // reports accepted by Append
 	Points         int64   // points written to the memtable
@@ -430,18 +439,20 @@ func (s *Store) Append(rep gateway.Report) error {
 		return err
 	}
 	if s.cfg.Sync == SyncAlways {
-		t0 := time.Now()
+		t0 := s.cfg.Now()
+		//homesight:ignore lock-held — WAL fsync under mu IS the durability contract: Append may not return before its record is on disk, and mu orders the WAL
 		if err := s.wal.sync(); err != nil {
 			s.mu.Unlock()
 			return err
 		}
-		s.cfg.Metrics.FsyncSeconds.Observe(time.Since(t0).Seconds())
+		s.cfg.Metrics.FsyncSeconds.Observe(s.cfg.Now().Sub(t0).Seconds())
 	}
 	s.ingest(rep)
 	s.cfg.Metrics.MemPoints.Set(float64(s.memPoints))
 	var rotated bool
 	var err error
 	if s.memPoints >= s.cfg.FlushPoints && s.frozen == nil {
+		//homesight:ignore lock-held — rotation syncs+swaps the WAL and must be atomic with the memtable freeze mu guards
 		rotated, err = s.rotateLocked()
 	}
 	s.mu.Unlock()
@@ -519,10 +530,11 @@ func (s *Store) syncer() {
 				s.mu.Unlock()
 				return
 			}
-			t0 := time.Now()
+			t0 := s.cfg.Now()
+			//homesight:ignore lock-held — group-commit fsync under mu by design: appends batched behind this sync are exactly the group being committed
 			err := s.wal.sync()
 			if err == nil {
-				s.cfg.Metrics.FsyncSeconds.Observe(time.Since(t0).Seconds())
+				s.cfg.Metrics.FsyncSeconds.Observe(s.cfg.Now().Sub(t0).Seconds())
 			}
 			s.mu.Unlock()
 		}
@@ -553,9 +565,11 @@ func (s *Store) doFlush() error {
 	sort.Slice(series, func(i, j int) bool { return keyLess(series[i].key, series[j].key) })
 
 	path := s.segPath(seq)
+	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 	if err := writeSegmentFile(path, series, s.cfg.BlockPoints); err != nil {
 		return err
 	}
+	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 	seg, err := openSegment(path, seq)
 	if err != nil {
 		return err
@@ -570,12 +584,14 @@ func (s *Store) doFlush() error {
 	s.cfg.Metrics.Flushes.Inc()
 	s.mu.Unlock()
 
+	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 	if err := s.saveNames(); err != nil {
 		return err
 	}
 	// The segment is durable; its WAL files are now redundant. A crash
 	// before this point replays them into watermark-dropped duplicates.
 	for _, wseq := range frozenWAL {
+		//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 		if err := os.Remove(s.walPath(wseq)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
@@ -616,6 +632,7 @@ func (s *Store) Flush() error {
 				s.mu.Unlock()
 				return nil
 			}
+			//homesight:ignore lock-held — rotation syncs+swaps the WAL and must be atomic with the memtable freeze mu guards
 			if _, err := s.rotateLocked(); err != nil {
 				s.mu.Unlock()
 				return err
@@ -1004,6 +1021,7 @@ func (s *Store) Compact() error {
 			}
 			for _, bm := range seg.series[i].blocks {
 				var err error
+				//homesight:ignore lock-held — compaction reads under flushMu by design; readers use s.mu and stay unblocked
 				if pts, err = seg.readBlock(bm, pts); err != nil {
 					return err
 				}
@@ -1020,9 +1038,11 @@ func (s *Store) Compact() error {
 	}
 
 	path := s.segPath(seq)
+	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 	if err := writeSegmentFile(path, series, s.cfg.BlockPoints); err != nil {
 		return err
 	}
+	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
 	seg, err := openSegment(path, seq)
 	if err != nil {
 		return err
@@ -1033,7 +1053,9 @@ func (s *Store) Compact() error {
 	s.refreshGauges()
 	s.mu.Unlock()
 	for _, o := range old {
+		//homesight:ignore lock-held — replaced segments are retired under flushMu by design; s.mu is not held
 		_ = o.close() //homesight:ignore unchecked-close — read-only handles of replaced segments
+		//homesight:ignore lock-held — replaced segments are retired under flushMu by design; s.mu is not held
 		if err := os.Remove(o.path); err != nil {
 			return err
 		}

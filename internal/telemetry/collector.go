@@ -54,6 +54,10 @@ type CollectorConfig struct {
 	// nowhere. Collectors sharing one IngestMetrics (same registry)
 	// accumulate into shared series, Prometheus-style.
 	Metrics *IngestMetrics
+	// Now is the clock behind read deadlines and latency measurements;
+	// nil → time.Now. Injectable so harnesses can drive the collector on
+	// a fake clock.
+	Now func() time.Time
 }
 
 func (cfg CollectorConfig) withDefaults() CollectorConfig {
@@ -72,12 +76,17 @@ func (cfg CollectorConfig) withDefaults() CollectorConfig {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewIngestMetrics(obs.NewRegistry())
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	return cfg
 }
 
 // IngestStats is a point-in-time snapshot of a collector's ingest
 // accounting: every report, dropped line and shed error is counted
 // exactly once, so the counters reconcile against what reporters sent.
+//
+//homesight:stats
 type IngestStats struct {
 	// ReportsIngested counts reports accepted into the store.
 	ReportsIngested int64 `json:"reports_ingested"`
@@ -181,13 +190,15 @@ func (c *Collector) acceptLoop() {
 			return // listener closed
 		}
 		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
+		closed := c.closed
+		if !closed {
+			c.conns[conn] = true
+		}
+		c.mu.Unlock()
+		if closed {
 			_ = conn.Close() //homesight:ignore unchecked-close — collector is shutting down; conn is unwanted
 			return
 		}
-		c.conns[conn] = true
-		c.mu.Unlock()
 		c.wg.Add(1)
 		go c.serveConn(conn)
 	}
@@ -215,7 +226,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 	drops := 0 // per-connection malformed-line counter
 	for {
 		if c.cfg.ReadTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
+			_ = conn.SetReadDeadline(c.cfg.Now().Add(c.cfg.ReadTimeout))
 		}
 		line, err := readLine(br, c.cfg.MaxLineBytes)
 		if len(line) > 0 && !c.ingestLine(line) {
@@ -282,9 +293,9 @@ func (c *Collector) ingestLoop() {
 	defer close(c.ingestDone)
 	for rep := range c.queue {
 		c.cfg.Metrics.QueueDepth.Set(float64(len(c.queue)))
-		t0 := time.Now()
+		t0 := c.cfg.Now()
 		err := c.store.Ingest(rep)
-		c.cfg.Metrics.Latency.Observe(time.Since(t0).Seconds())
+		c.cfg.Metrics.Latency.Observe(c.cfg.Now().Sub(t0).Seconds())
 		if err != nil {
 			c.counters.ingestErrors.Add(1)
 			c.cfg.Metrics.DroppedRejected.Inc()
@@ -338,10 +349,14 @@ func (c *Collector) Close() error {
 		return ErrClosed
 	}
 	c.closed = true
+	conns := make([]net.Conn, 0, len(c.conns))
 	for conn := range c.conns {
-		_ = conn.Close() //homesight:ignore unchecked-close — forced shutdown; listener close error wins
+		conns = append(conns, conn)
 	}
 	c.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close() //homesight:ignore unchecked-close — forced shutdown; listener close error wins
+	}
 	err := c.ln.Close()
 	c.wg.Wait()
 	close(c.queue)

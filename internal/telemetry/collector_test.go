@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -15,13 +16,17 @@ func TestCollectorConfigDefaults(t *testing.T) {
 		t.Error("withDefaults() left Metrics nil; instrumentation must always be on")
 	}
 	got.Metrics = nil
+	if got.Now == nil {
+		t.Error("withDefaults() left Now nil; the collector needs a clock")
+	}
+	got.Now = nil
 	want := CollectorConfig{
 		ReadTimeout:  DefaultReadTimeout,
 		QueueSize:    DefaultQueueSize,
 		MaxLineBytes: DefaultMaxLineBytes,
 		MaxConnDrops: DefaultMaxConnDrops,
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("withDefaults() = %+v, want %+v", got, want)
 	}
 	// Negative ReadTimeout means "no deadline" and must survive.

@@ -93,44 +93,49 @@ func (c *Conn) Injected() Injections {
 // delivered — faults are injected, not compounded with TCP resets that
 // would make loss nondeterministic.
 func (c *Conn) Write(p []byte) (int, error) {
+	// Decide this write's fate and bump the injection counters under the
+	// lock; the delay and the actual socket writes happen after release so
+	// the mutex never pins a blocked writer.
 	c.mu.Lock()
 	idx := c.inj.Writes
 	c.inj.Writes++
-	if c.plan.WriteDelay > 0 {
-		c.mu.Unlock()
-		time.Sleep(c.plan.WriteDelay)
-		c.mu.Lock()
-	}
-	if c.plan.GarbageEvery > 0 && (idx+1)%c.plan.GarbageEvery == 0 {
-		garbage := c.plan.Garbage
-		if garbage == nil {
-			garbage = DefaultGarbage
-		}
-		c.inj.GarbageLines++
-		c.mu.Unlock()
-		if _, err := c.Conn.Write(garbage); err != nil {
-			return 0, err
-		}
-		c.mu.Lock()
-	}
+	garbage := c.plan.GarbageEvery > 0 && (idx+1)%c.plan.GarbageEvery == 0
 	fail := indexIn(c.plan.FailWrites, idx) ||
 		(c.plan.FailEvery > 0 && (idx+1)%c.plan.FailEvery == 0)
-	partial := indexIn(c.plan.PartialWrites, idx)
+	partial := !fail && indexIn(c.plan.PartialWrites, idx)
+	if garbage {
+		c.inj.GarbageLines++
+	}
 	if fail {
 		c.inj.Fails++
-		c.mu.Unlock()
-		return 0, ErrInjected
 	}
 	if partial {
 		c.inj.Partials++
-		c.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if garbage {
+		line := c.plan.Garbage
+		if line == nil {
+			line = DefaultGarbage
+		}
+		if _, err := c.Conn.Write(line); err != nil {
+			return 0, err
+		}
+	}
+	if fail {
+		return 0, ErrInjected
+	}
+	if partial {
 		n, err := c.Conn.Write(p[:len(p)/2])
 		if err != nil {
 			return n, err
 		}
 		return n, ErrInjected
 	}
-	c.mu.Unlock()
 	return c.Conn.Write(p)
 }
 

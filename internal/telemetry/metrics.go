@@ -15,6 +15,8 @@ import (
 )
 
 // CacheSnapshot is a point-in-time view of one cache's counters.
+//
+//homesight:stats
 type CacheSnapshot struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`

