@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 SARIF ?= homesight-vet.sarif
 
-.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-store test-faults fuzz-smoke obs-smoke check
+.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-store bench-query test-faults fuzz-smoke obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -39,13 +39,17 @@ bench-build: ## compile the benchmark harness without running it (check smoke)
 bench-store: ## store append/select/compression benchmarks; writes BENCH_store.json
 	HOMESIGHT_BENCH_STORE_JSON=$(abspath BENCH_store.json) $(GO) test -run TestBenchStoreJSON -count=1 ./internal/store
 
-fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codec, WAL replay, and vet directive parser
+bench-query: ## concurrent-read query benchmarks (raw vs 8h rollup, cache hit rate); writes BENCH_query.json
+	HOMESIGHT_BENCH_QUERY_JSON=$(abspath BENCH_query.json) $(GO) test -run TestBenchQueryJSON -count=1 ./internal/query
+
+fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codecs, WAL replay, and vet directive parser
 	$(GO) test -run NONE -fuzz '^FuzzBlockCodec$$' -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run NONE -fuzz '^FuzzRollupCodec$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzDirectiveParser$$' -fuzztime $(FUZZTIME) ./internal/analysis
 
 obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
-check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-store fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + store bench + fuzz smoke + obs smoke
+check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-store bench-query fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + store bench + query bench + fuzz smoke + obs smoke
 	@echo "check: all gates passed"

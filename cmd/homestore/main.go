@@ -8,10 +8,13 @@
 //	homestore verify  -dir DIR           # checksum every block, check ordering
 //	homestore compact -dir DIR           # merge all segments into one
 //	homestore export  -dir DIR -out OUT  # write the dataset CSV bundle
+//	homestore serve   -dir DIR -addr A   # HTTP query API + /metrics + pprof
 //
 // Every subcommand opens the store through the normal recovery path, so
 // a torn WAL tail is repaired exactly as the collector would repair it
-// on restart.
+// on restart. `serve` mounts the internal/query API (/api/v1/...) on the
+// observability server, so one port exposes the versioned JSON read API,
+// Prometheus-format metrics and pprof together.
 package main
 
 import (
@@ -19,8 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
+	"homesight/internal/obs"
+	"homesight/internal/obs/slogx"
+	"homesight/internal/query"
 	homestore "homesight/internal/store"
 )
 
@@ -32,6 +39,7 @@ commands:
   verify    re-read and checksum every block; non-zero exit on corruption
   compact   merge all segments into a single segment
   export    write the store as a dataset CSV bundle (-out required)
+  serve     serve the HTTP query API plus /metrics and pprof (-addr)
 `)
 	os.Exit(2)
 }
@@ -45,6 +53,7 @@ func main() {
 	dir := fs.String("dir", "", "store data directory")
 	asJSON := fs.Bool("json", false, "inspect: emit machine-readable JSON")
 	out := fs.String("out", "", "export: destination directory for the CSV bundle")
+	addr := fs.String("addr", "127.0.0.1:0", "serve: listen address for the query/metrics server")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -53,7 +62,15 @@ func main() {
 		usage()
 	}
 
-	s, err := homestore.Open(homestore.Config{Dir: *dir})
+	// serve shares one registry between the store and the query tier, so
+	// /metrics exposes homesight_store_* and homesight_query_* together.
+	cfg := homestore.Config{Dir: *dir}
+	var reg *obs.Registry
+	if cmd == "serve" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = homestore.NewMetrics(reg)
+	}
+	s, err := homestore.Open(cfg)
 	if err != nil {
 		fatal("open %s: %v", *dir, err)
 	}
@@ -91,10 +108,29 @@ func main() {
 			fatal("export to %s: %v", *out, err)
 		}
 		fmt.Printf("exported %d gateways to %s\n", len(s.Gateways()), *out)
+	case "serve":
+		serve(s, reg, *addr)
 	default:
 		fmt.Fprintf(os.Stderr, "homestore: unknown command %q\n", cmd)
 		usage()
 	}
+}
+
+// serve mounts the query API on the observability server and blocks
+// until interrupted.
+func serve(s *homestore.Store, reg *obs.Registry, addr string) {
+	logger := slogx.With("component", "homestore")
+	api := query.New(query.Config{Store: s, Registry: reg})
+	srv, err := obs.NewServer(addr, reg, obs.WithHandler("/api/v1/", api.Handler()))
+	if err != nil {
+		fatal("serve on %s: %v", addr, err)
+	}
+	defer func() { _ = srv.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at exit
+	logger.Info("query server listening", "addr", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	logger.Info("shutting down")
 }
 
 func fatal(format string, args ...any) {
@@ -128,9 +164,11 @@ func inspect(s *homestore.Store, asJSON bool) {
 		rep.Gateways = append(rep.Gateways, inspectGateway{ID: gw, Devices: len(s.Devices(gw))})
 	}
 	if asJSON {
+		// The same versioned envelope the HTTP API speaks, so scripted
+		// consumers parse one shape regardless of transport.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(query.Wrap(rep)); err != nil {
 			fatal("encode: %v", err)
 		}
 		return

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -96,15 +97,26 @@ func (e *Env) storeHomeFor(i int) storeHome {
 	return e.storeSer.get(i, func() storeHome {
 		id := e.Home(i).ID
 		n := e.Dep.Config().Minutes()
+		to := e.store.Start().Add(time.Duration(n) * e.store.Step())
 		var sh storeHome
 		for _, mac := range e.store.Devices(id) {
-			in, out, err := e.store.DeviceSeries(id, mac, n)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: reading %s/%s from store: %v", id, mac, err))
+			var res [2]*store.Result
+			for dir := 0; dir < 2; dir++ {
+				var err error
+				//homesight:ignore ctx-flow — cache fill runs to completion by design: a half-read home must never be memoized
+				res[dir], err = e.store.Query(context.Background(), store.QueryRequest{
+					Key:         store.Key{Gateway: id, Device: mac, Dir: store.Direction(dir)},
+					To:          to,
+					Reconstruct: true,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiments: reading %s/%s from store: %v", id, mac, err))
+				}
 			}
-			if in == nil {
+			if res[0].LastIndex < 0 && res[1].LastIndex < 0 {
 				continue
 			}
+			in, out := res[0].Series, res[1].Series
 			sum, err := in.Add(out)
 			if err != nil {
 				panic(err) // same grid by construction

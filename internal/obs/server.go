@@ -25,15 +25,33 @@ type Server struct {
 	done chan struct{}
 }
 
+// A ServerOption customizes the mux NewServer builds. Options run
+// before the built-in routes are installed, so an option cannot shadow
+// /metrics, /healthz or /debug/pprof/* — registering one of those
+// patterns panics (net/http duplicate-pattern semantics), surfacing the
+// conflict at startup instead of silently hijacking the scrape path.
+type ServerOption func(mux *http.ServeMux)
+
+// WithHandler mounts h at pattern (any net/http ServeMux pattern,
+// including Go 1.22 method/wildcard forms) on the server's mux — how an
+// application API (e.g. the homequery serving tier) shares the one
+// debug listener and its /metrics discipline.
+func WithHandler(pattern string, h http.Handler) ServerOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
 // NewServer starts serving reg on addr (e.g. "127.0.0.1:0"; an explicit
 // port pins the scrape target, port 0 picks a free one — read it back
 // with Addr).
-func NewServer(addr string, reg *Registry) (*Server, error) {
+func NewServer(addr string, reg *Registry, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	for _, opt := range opts {
+		opt(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WriteText(w) // a broken scrape socket is the scraper's problem

@@ -72,3 +72,42 @@ func TestServerBadAddr(t *testing.T) {
 		t.Error("NewServer on an invalid address succeeded")
 	}
 }
+
+// TestServerWithHandler mounts an application handler next to the
+// built-ins and checks both keep working.
+func TestServerWithHandler(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry(),
+		WithHandler("/api/v1/ping", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+			_, _ = w.Write([]byte("pong"))
+		})))
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	base := "http://" + srv.Addr()
+	code, _, body := get(t, base+"/api/v1/ping")
+	if code != http.StatusTeapot || body != "pong" {
+		t.Errorf("/api/v1/ping = %d %q, want 418 \"pong\"", code, body)
+	}
+	if code, _, _ = get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz alongside custom handler = %d", code)
+	}
+}
+
+// TestServerOptionCannotShadowBuiltins pins the option ordering: a
+// handler registered at a built-in pattern panics at startup rather
+// than hijacking the scrape path.
+func TestServerOptionCannotShadowBuiltins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithHandler(\"/metrics\") did not panic")
+		}
+	}()
+	_, _ = NewServer("127.0.0.1:0", NewRegistry(),
+		WithHandler("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})))
+}

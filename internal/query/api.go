@@ -1,0 +1,340 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"homesight/internal/devices"
+	"homesight/internal/obs"
+	"homesight/internal/store"
+)
+
+// defaultCacheEntries bounds the response LRU when Config.CacheEntries
+// is zero. Entries are whole JSON payloads (a few KB to a few hundred
+// KB for a full-campaign series), so the default keeps the cache in the
+// tens of MB worst case.
+const defaultCacheEntries = 128
+
+// Config configures New.
+type Config struct {
+	// Store is the open homestore the API serves. Required.
+	Store *store.Store
+	// Registry receives the homesight_query_* instruments; nil gets a
+	// private registry (counting stays on, nothing is exported).
+	Registry *obs.Registry
+	// CacheEntries sizes the response LRU: 0 means defaultCacheEntries,
+	// negative disables caching (every lookup is a miss).
+	CacheEntries int
+	// Now is the latency clock; nil → time.Now. Injectable so tests and
+	// benchmarks control the only wall-clock read in this package.
+	Now func() time.Time
+}
+
+// API is the homequery serving tier. Mount Handler on an obs.Server via
+// obs.WithHandler, or on any mux.
+type API struct {
+	st    *store.Store
+	m     *metrics
+	cache *cache
+	now   func() time.Time
+}
+
+// New builds the API. It panics on a nil Store: there is nothing to
+// serve, and the caller bug should surface at wiring time.
+func New(cfg Config) *API {
+	if cfg.Store == nil {
+		panic("query: Config.Store is required")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = defaultCacheEntries
+	}
+	return &API{
+		st:    cfg.Store,
+		m:     newMetrics(cfg.Registry),
+		cache: newCache(entries),
+		now:   cfg.Now,
+	}
+}
+
+// Handler returns the API mux. Every route is GET-only (the store is
+// append-only through the collector; this tier never writes).
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /api/v1/homes", a.endpoint("homes", (*API).handleHomes))
+	mux.Handle("GET /api/v1/homes/{gw}/devices", a.endpoint("devices", (*API).handleDevices))
+	mux.Handle("GET /api/v1/homes/{gw}/summary", a.endpoint("summary", (*API).handleSummary))
+	mux.Handle("GET /api/v1/series", a.endpoint("series", (*API).handleSeries))
+	return mux
+}
+
+// httpError carries a status code through a handler's error return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func notFoundf(format string, args ...any) error {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func badRequestf(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint wraps a handler with instrumentation and envelope encoding:
+// the handler returns a payload or an error, and everything on the wire
+// — success, 4xx, 5xx — is an Envelope.
+func (a *API) endpoint(name string, h func(*API, *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := a.now()
+		data, err := h(a, r)
+		a.m.latency.With(name).Observe(a.now().Sub(t0).Seconds())
+		a.m.requests.With(name).Inc()
+		if err != nil {
+			code := http.StatusInternalServerError
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				code = he.code
+			case errors.Is(err, store.ErrBadRequest):
+				code = http.StatusBadRequest
+			}
+			writeJSON(w, code, WrapError(code, err.Error()))
+			return
+		}
+		writeJSON(w, http.StatusOK, Wrap(data))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, env Envelope) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(env) // a broken client socket is the client's problem
+}
+
+// lookup consults the response cache; a disabled cache is all misses.
+func (a *API) lookup(key string) (any, bool) {
+	v, ok := a.cache.get(key)
+	if ok {
+		a.m.hits.Inc()
+	} else {
+		a.m.misses.Inc()
+	}
+	return v, ok
+}
+
+// hasGateway reports whether gw is in the store's catalog.
+func (a *API) hasGateway(gw string) bool {
+	for _, id := range a.st.Gateways() {
+		if id == gw {
+			return true
+		}
+	}
+	return false
+}
+
+// HomeInfo is one row of /api/v1/homes.
+type HomeInfo struct {
+	ID      string `json:"id"`
+	Devices int    `json:"devices"`
+}
+
+func (a *API) handleHomes(r *http.Request) (any, error) {
+	key := fmt.Sprintf("homes@%d", a.st.Generation())
+	if v, ok := a.lookup(key); ok {
+		return v, nil
+	}
+	gws := a.st.Gateways()
+	out := make([]HomeInfo, 0, len(gws))
+	for _, gw := range gws {
+		out = append(out, HomeInfo{ID: gw, Devices: len(a.st.Devices(gw))})
+	}
+	a.cache.put(key, out)
+	return out, nil
+}
+
+// DeviceInfo is one row of /api/v1/homes/{gw}/devices.
+type DeviceInfo struct {
+	MAC  string `json:"mac"`
+	Name string `json:"name,omitempty"`
+	Type string `json:"type"`
+}
+
+func (a *API) handleDevices(r *http.Request) (any, error) {
+	gw := r.PathValue("gw")
+	if !a.hasGateway(gw) {
+		return nil, notFoundf("unknown gateway %q", gw)
+	}
+	key := fmt.Sprintf("devices/%s@%d", gw, a.st.Generation())
+	if v, ok := a.lookup(key); ok {
+		return v, nil
+	}
+	macs := a.st.Devices(gw)
+	out := make([]DeviceInfo, 0, len(macs))
+	for _, mac := range macs {
+		name := a.st.DeviceName(gw, mac)
+		out = append(out, DeviceInfo{
+			MAC:  mac,
+			Name: name,
+			Type: string(devices.Classify(mac, name)),
+		})
+	}
+	a.cache.put(key, out)
+	return out, nil
+}
+
+// SeriesPoint and SeriesBin are the two wire forms of series samples.
+type SeriesPoint struct {
+	Ts  int64  `json:"ts"` // unix seconds
+	Val uint64 `json:"val"`
+}
+
+type SeriesBin struct {
+	Start int64   `json:"start"` // unix seconds, epoch-aligned bin start
+	Count uint64  `json:"count"` // raw samples inside the bin
+	Value float64 `json:"value"` // the bin reduced under agg
+}
+
+// SeriesData is the /api/v1/series payload.
+type SeriesData struct {
+	Gateway   string        `json:"gateway"`
+	Device    string        `json:"device"`
+	Dir       string        `json:"dir"`
+	Gran      string        `json:"gran"`
+	Agg       string        `json:"agg,omitempty"`
+	From      int64         `json:"from"` // effective range, unix seconds
+	To        int64         `json:"to"`
+	Points    []SeriesPoint `json:"points,omitempty"`
+	Bins      []SeriesBin   `json:"bins,omitempty"`
+	Truncated bool          `json:"truncated,omitempty"`
+}
+
+// parseQueryTime accepts unix seconds or RFC 3339; "" is the zero time
+// (store campaign defaulting).
+func parseQueryTime(param, s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, badRequestf("bad %s %q: want unix seconds or RFC 3339", param, s)
+	}
+	return t, nil
+}
+
+func (a *API) handleSeries(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	gw, mac := q.Get("gw"), q.Get("device")
+	if gw == "" || mac == "" {
+		return nil, badRequestf("gw and device query parameters are required")
+	}
+	dir := store.DirIn
+	switch q.Get("dir") {
+	case "", "in":
+	case "out":
+		dir = store.DirOut
+	default:
+		return nil, badRequestf("bad dir %q: want in or out", q.Get("dir"))
+	}
+	gran, err := store.ParseGranularity(q.Get("gran"))
+	if err != nil {
+		return nil, err
+	}
+	agg, err := store.ParseAggregation(q.Get("agg"))
+	if err != nil {
+		return nil, err
+	}
+	from, err := parseQueryTime("from", q.Get("from"))
+	if err != nil {
+		return nil, err
+	}
+	to, err := parseQueryTime("to", q.Get("to"))
+	if err != nil {
+		return nil, err
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		if limit, err = strconv.Atoi(s); err != nil {
+			return nil, badRequestf("bad limit %q", s)
+		}
+	}
+	if !a.hasGateway(gw) {
+		return nil, notFoundf("unknown gateway %q", gw)
+	}
+	if !containsString(a.st.Devices(gw), mac) {
+		return nil, notFoundf("unknown device %q on gateway %q", mac, gw)
+	}
+
+	req := store.QueryRequest{
+		Key:   store.Key{Gateway: gw, Device: mac, Dir: dir},
+		From:  from,
+		To:    to,
+		Gran:  gran,
+		Agg:   agg,
+		Limit: limit,
+	}
+	// Binned answers are small and rollup-backed: cache them whole. Raw
+	// point ranges can be the entire campaign per device — streaming
+	// them through the LRU would evict everything else, so they are
+	// served uncached.
+	cacheKey := ""
+	if gran != store.GranRaw {
+		cacheKey = fmt.Sprintf("series/%s/%s/%s/%s/%s/%d/%d/%d@%d",
+			gw, mac, req.Key.Dir, gran, agg, from.Unix(), to.Unix(), limit, a.st.Generation())
+		if v, ok := a.lookup(cacheKey); ok {
+			return v, nil
+		}
+	}
+	res, err := a.st.Query(r.Context(), req)
+	if err != nil {
+		return nil, err
+	}
+	data := SeriesData{
+		Gateway:   gw,
+		Device:    mac,
+		Dir:       res.Key.Dir.String(),
+		Gran:      res.Gran.String(),
+		From:      res.From.Unix(),
+		To:        res.To.Unix(),
+		Truncated: res.Truncated,
+	}
+	if res.Gran == store.GranRaw {
+		data.Points = make([]SeriesPoint, 0, len(res.Points))
+		for _, p := range res.Points {
+			data.Points = append(data.Points, SeriesPoint{Ts: p.Ts, Val: p.Val})
+		}
+	} else {
+		data.Agg = res.Agg.String()
+		data.Bins = make([]SeriesBin, 0, len(res.Bins))
+		for _, b := range res.Bins {
+			data.Bins = append(data.Bins, SeriesBin{Start: b.Start, Count: b.Count, Value: b.Value(res.Agg)})
+		}
+	}
+	if cacheKey != "" {
+		a.cache.put(cacheKey, data)
+	}
+	return data, nil
+}
+
+func containsString(xs []string, s string) bool {
+	i := sort.SearchStrings(xs, s)
+	return i < len(xs) && xs[i] == s
+}

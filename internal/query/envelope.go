@@ -1,0 +1,44 @@
+// Package query is homequery: the HTTP query/serving tier over
+// homestore. It exposes the paper's per-home analyses — device
+// inventories, downsampled traffic series at the Def. 3 granularities
+// (3h daily, 8h weekly), Def. 4 φ-dominance and Def. 5 motif counts,
+// plus the duty-cycle/burstiness activity indicators — as versioned
+// JSON endpoints mounted on the shared internal/obs debug listener:
+//
+//	GET /api/v1/homes                  known gateways and device counts
+//	GET /api/v1/homes/{gw}/devices     one gateway's device inventory
+//	GET /api/v1/homes/{gw}/summary     dominants, motifs, activity features
+//	GET /api/v1/series                 raw or downsampled range reads
+//
+// Every response — success or error — is wrapped in the Envelope below,
+// the same wrapper cmd/homestore -json prints, so the CLI and the
+// server never drift. Binned series answers come from the store's
+// precomputed segment rollups and never decode raw minutes; whole
+// answers are cached in a store-generation-keyed LRU
+// (homesight_query_cache_{hits,misses}_total).
+package query
+
+// Version is the wire version every envelope carries.
+const Version = "v1"
+
+// Envelope is the versioned JSON wrapper shared by the HTTP API and the
+// cmd/homestore -json output. Exactly one of Data and Error is set.
+type Envelope struct {
+	Version string `json:"version"`
+	Data    any    `json:"data,omitempty"`
+	Error   *Error `json:"error,omitempty"`
+}
+
+// Error is the wire form of a failed request.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Wrap wraps a successful payload.
+func Wrap(data any) Envelope { return Envelope{Version: Version, Data: data} }
+
+// WrapError wraps a failure.
+func WrapError(code int, message string) Envelope {
+	return Envelope{Version: Version, Error: &Error{Code: code, Message: message}}
+}

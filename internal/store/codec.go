@@ -63,6 +63,127 @@ func encodeBlock(dst []byte, pts []Point) []byte {
 	return dst
 }
 
+// encodeRollupBlock appends the rollup-block encoding of bins to dst.
+// Bins are strictly ascending by Start. Layout, all varints:
+//
+//	uvarint  count
+//	varint   start[0]          (zigzag; bin starts are epoch-aligned)
+//	then per bin i >= 1:
+//	uvarint  start[i]-start[i-1]
+//	then per bin (interleaved with the starts above):
+//	uvarint  pointCount
+//	uvarint  sum               (wrapping uint64 sum of raw values)
+//	uvarint  max
+//
+// Sums are wrapping integer sums, not floats: integer addition is
+// associative, so rollups merged across segments and the memtable equal
+// the offline fold over raw points bit-for-bit — the reconciliation
+// contract the tests pin.
+func encodeRollupBlock(dst []byte, bins []RollupBin) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(bins)))
+	for i, b := range bins {
+		if i == 0 {
+			dst = binary.AppendVarint(dst, b.Start)
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(b.Start-bins[i-1].Start))
+		}
+		dst = binary.AppendUvarint(dst, b.Count)
+		dst = binary.AppendUvarint(dst, b.Sum)
+		dst = binary.AppendUvarint(dst, b.Max)
+	}
+	return dst
+}
+
+// decodeRollupBlock decodes one rollup block, appending into dst. Like
+// decodeBlock it rejects truncated streams, trailing garbage and
+// implausible headers and never panics on arbitrary input
+// (FuzzRollupCodec pins this).
+func decodeRollupBlock(dst []RollupBin, data []byte) ([]RollupBin, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: rollup block header: bad count varint")
+	}
+	data = data[n:]
+	if count > maxBlockPoints {
+		return nil, fmt.Errorf("store: rollup block declares %d bins (max %d)", count, maxBlockPoints)
+	}
+	// Every bin costs at least four bytes (delta + count + sum + max).
+	if count > uint64(len(data))+1 {
+		return nil, fmt.Errorf("store: rollup block declares %d bins in %d bytes", count, len(data))
+	}
+	var start int64
+	for i := uint64(0); i < count; i++ {
+		var b RollupBin
+		if i == 0 {
+			v, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("store: rollup block: bad first bin start")
+			}
+			start = v
+			data = data[n:]
+		} else {
+			d, n := binary.Uvarint(data)
+			if n <= 0 || d == 0 {
+				return nil, fmt.Errorf("store: rollup block truncated or unordered at bin %d", i)
+			}
+			start += int64(d)
+			data = data[n:]
+		}
+		b.Start = start
+		var v uint64
+		var n int
+		if v, n = binary.Uvarint(data); n <= 0 || v == 0 {
+			return nil, fmt.Errorf("store: rollup block: bad point count at bin %d", i)
+		}
+		b.Count = v
+		data = data[n:]
+		if b.Sum, n = binary.Uvarint(data); n <= 0 {
+			return nil, fmt.Errorf("store: rollup block truncated at bin %d (sum)", i)
+		}
+		data = data[n:]
+		if b.Max, n = binary.Uvarint(data); n <= 0 {
+			return nil, fmt.Errorf("store: rollup block truncated at bin %d (max)", i)
+		}
+		data = data[n:]
+		dst = append(dst, b)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("store: rollup block carries %d trailing bytes", len(data))
+	}
+	return dst, nil
+}
+
+// computeRollups folds ascending raw points into epoch-aligned bins of
+// binSec seconds: the flush-time producer of the precomputed blocks and
+// the read-time fold applied to memtable tails — one function, so the
+// two paths cannot drift.
+func computeRollups(dst []RollupBin, pts []Point, binSec int64) []RollupBin {
+	for _, p := range pts {
+		dst = foldRollup(dst, p, binSec)
+	}
+	return dst
+}
+
+// foldRollup accumulates one point into the (append-only, ascending)
+// bin list.
+func foldRollup(dst []RollupBin, p Point, binSec int64) []RollupBin {
+	m := p.Ts % binSec
+	if m < 0 {
+		m += binSec
+	}
+	start := p.Ts - m
+	if len(dst) == 0 || dst[len(dst)-1].Start != start {
+		dst = append(dst, RollupBin{Start: start})
+	}
+	b := &dst[len(dst)-1]
+	b.Count++
+	b.Sum += p.Val // wrapping
+	if p.Val > b.Max {
+		b.Max = p.Val
+	}
+	return dst
+}
+
 // decodeBlock decodes one block, appending into dst (pass nil to
 // allocate). It rejects trailing garbage, truncated streams and
 // implausible headers; it never panics on arbitrary input (the

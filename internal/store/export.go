@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -25,25 +26,36 @@ func (s *Store) Export(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	minutes := s.campaignMinutes()
-	if minutes == 0 {
+	// "Whole campaign, rounded to whole weeks" is QueryRequest
+	// defaulting (zero To + WholeWeeks), so Export no longer computes
+	// minute counts itself.
+	start, end := s.Start(), s.campaignEnd(true)
+	n := int(end.Sub(start) / s.cfg.Step)
+	if n == 0 {
 		return fmt.Errorf("store: nothing to export")
 	}
 	gws := s.Gateways()
 	var man dataset.Manifest
 	man.Config.Homes = len(gws)
 	man.Config.Start = s.cfg.Start
-	man.Config.Weeks = (minutes + minutesPerWeek - 1) / minutesPerWeek
-	n := man.Config.Weeks * minutesPerWeek
+	man.Config.Weeks = n / minutesPerWeek
 
 	for _, gw := range gws {
 		g := &dataset.Gateway{ID: gw}
 		for _, mac := range s.Devices(gw) {
-			in, out, err := s.DeviceSeries(gw, mac, n)
-			if err != nil {
-				return err
+			var res [2]*Result
+			for dir := 0; dir < 2; dir++ {
+				var err error
+				res[dir], err = s.Query(context.Background(), QueryRequest{
+					Key:         Key{Gateway: gw, Device: mac, Dir: Direction(dir)},
+					Reconstruct: true,
+					WholeWeeks:  true,
+				})
+				if err != nil {
+					return err
+				}
 			}
-			if in == nil {
+			if res[0].LastIndex < 0 && res[1].LastIndex < 0 {
 				continue // cataloged but no samples survived
 			}
 			name := s.DeviceName(gw, mac)
@@ -53,8 +65,8 @@ func (s *Store) Export(dir string) error {
 					Name:     name,
 					Inferred: devices.Classify(mac, name),
 				},
-				In:  in,
-				Out: out,
+				In:  res[0].Series,
+				Out: res[1].Series,
 			})
 		}
 		man.Homes = append(man.Homes, dataset.ManifestHome{ID: gw, Devices: len(g.Devices)})

@@ -35,6 +35,33 @@ func FuzzBlockCodec(f *testing.F) {
 	})
 }
 
+// FuzzRollupCodec pins the rollup-block decoder the same way: arbitrary
+// bytes never panic, and anything it accepts re-encodes canonically.
+func FuzzRollupCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeRollupBlock(nil, nil))
+	f.Add(encodeRollupBlock(nil, []RollupBin{{Start: 1395014400, Count: 3, Sum: 999, Max: 500}}))
+	f.Add(encodeRollupBlock(nil, computeRollups(nil, []Point{
+		{Ts: 1395014400, Val: 1000}, {Ts: 1395014460, Val: 2120},
+		{Ts: 1395025200, Val: 3240}, {Ts: 1395054000, Val: 3240},
+	}, 3*3600)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bins, err := decodeRollupBlock(nil, data)
+		if err != nil {
+			return
+		}
+		enc := encodeRollupBlock(nil, bins)
+		again, err := decodeRollupBlock(nil, enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !binsEqual(bins, again) {
+			t.Fatalf("round trip mismatch: %v vs %v", bins, again)
+		}
+	})
+}
+
 // FuzzWALReplay pins crash recovery against arbitrary WAL file
 // contents: replay never panics, truncation always lands on a record
 // boundary it can re-replay cleanly, and the record decoder survives

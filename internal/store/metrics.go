@@ -42,6 +42,11 @@ type Metrics struct {
 	// WALTruncations counts torn tails cut off during recovery
 	// (homesight_store_wal_truncations_total).
 	WALTruncations *obs.Counter
+	// BlockReads counts segment block decodes by kind ("raw" minute
+	// blocks vs precomputed "rollup" blocks)
+	// (homesight_store_block_reads_total). A well-behaved downsampled
+	// query moves only the rollup series.
+	BlockReads *obs.CounterVec
 }
 
 // NewMetrics registers (or re-binds, idempotently) the store families
@@ -68,5 +73,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"WAL fsync duration, seconds.", fsyncBuckets),
 		WALTruncations: reg.Counter("homesight_store_wal_truncations_total",
 			"Torn WAL tails truncated during crash recovery."),
+		BlockReads: reg.CounterVec("homesight_store_block_reads_total",
+			"Segment block decodes by kind (raw minute blocks vs precomputed rollup blocks).",
+			"kind"),
 	}
 }

@@ -1,0 +1,348 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// offlineBins is the reference aggregation the rollup path must match
+// exactly: a map-based fold over the raw points, deliberately structured
+// unlike computeRollups/mergeBin so the two cannot share a bug.
+func offlineBins(pts []Point, fromSec, toSec, binSec int64) []RollupBin {
+	byStart := make(map[int64]*RollupBin)
+	for _, p := range pts {
+		if p.Ts < fromSec || p.Ts >= toSec {
+			continue
+		}
+		start := p.Ts - ((p.Ts%binSec)+binSec)%binSec
+		b := byStart[start]
+		if b == nil {
+			b = &RollupBin{Start: start}
+			byStart[start] = b
+		}
+		b.Count++
+		b.Sum += p.Val
+		if p.Val > b.Max {
+			b.Max = p.Val
+		}
+	}
+	out := make([]RollupBin, 0, len(byStart))
+	for _, b := range byStart {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func binsEqual(a, b []RollupBin) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reconcileBins runs every series through both rollup granularities —
+// whole campaign and an unaligned mid-campaign window — and demands
+// bit-for-bit equality with the offline fold of the raw points.
+func reconcileBins(t *testing.T, s *Store, want map[Key][]Point, stage string) {
+	t.Helper()
+	ctx := context.Background()
+	for k, pts := range want {
+		for _, g := range []Granularity{Gran3h, Gran8h} {
+			binSec := g.seconds()
+			res, err := s.Query(ctx, QueryRequest{Key: k, Gran: g})
+			if err != nil {
+				t.Fatalf("%s: %v gran %s: %v", stage, k, g, err)
+			}
+			ref := offlineBins(pts, alignDown(res.From.Unix(), binSec), alignUp(res.To.Unix(), binSec), binSec)
+			if !binsEqual(ref, res.Bins) {
+				t.Fatalf("%s: %v gran %s: bins diverge from offline fold:\n got %+v\nwant %+v",
+					stage, k, g, res.Bins, ref)
+			}
+
+			// Unaligned window: 100 minutes in, 70 minutes short of the
+			// end — the query must widen outward to bin boundaries.
+			from := s.Start().Add(100 * time.Minute)
+			to := s.campaignEnd(false).Add(-70 * time.Minute)
+			if !to.After(from) {
+				continue
+			}
+			res, err = s.Query(ctx, QueryRequest{Key: k, From: from, To: to, Gran: g, Agg: AggMax})
+			if err != nil {
+				t.Fatalf("%s: %v gran %s window: %v", stage, k, g, err)
+			}
+			ref = offlineBins(pts, alignDown(from.Unix(), binSec), alignUp(to.Unix(), binSec), binSec)
+			if !binsEqual(ref, res.Bins) {
+				t.Fatalf("%s: %v gran %s window: bins diverge from offline fold", stage, k, g)
+			}
+		}
+	}
+}
+
+func TestQueryBinsReconcile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Start: testStart, Sync: SyncAlways, FlushPoints: 700, BlockPoints: 64}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A day and a half: several 3h bins, a split 8h bin at every flush
+	// boundary, two gateways so segments hold multiple series.
+	reps := append(buildReports("gw001", 3, 2160), buildReports("gw002", 2, 2160)...)
+	mid := len(reps) / 2
+	for _, rep := range reps[:mid] {
+		if err := s.Append(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := expectedPoints(reps[:mid])
+	reconcileBins(t, s, want, "memtable")
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reconcileBins(t, s, want, "flushed")
+
+	// Second half: rollups must merge across segments and the memtable
+	// tail, coalescing the bin each flush boundary split.
+	for _, rep := range reps[mid:] {
+		if err := s.Append(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want = expectedPoints(reps)
+	reconcileBins(t, s, want, "segments+memtable")
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	reconcileBins(t, s, want, "compacted")
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash recovery: the replayed store must answer identically.
+	s.Crash()
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Crash()
+	reconcileBins(t, s2, want, "recovered")
+}
+
+// TestQueryV1SegmentFallback downgrades every segment to the v1 format
+// (no rollup blocks) and demands that binned queries still reconcile by
+// folding raw blocks — and that Compact upgrades the store back to
+// rollup-served reads, observable through the block-read counters.
+func TestQueryV1SegmentFallback(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Start: testStart, FlushPoints: 500, BlockPoints: 64}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := buildReports("gw001", 3, 1500)
+	for _, rep := range reps {
+		if err := s.Append(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite each segment as v1, preserving its points.
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no segments to downgrade (err=%v)", err)
+	}
+	for _, path := range paths {
+		seg, err := openSegment(path, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series []keyedPoints
+		for _, ss := range seg.series {
+			kp := keyedPoints{key: ss.key}
+			for _, bm := range ss.blocks {
+				if kp.pts, err = seg.readBlock(bm, kp.pts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			series = append(series, kp)
+		}
+		if err := seg.close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeSegmentFileVersion(path, series, 64, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err = Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want := expectedPoints(reps)
+	reconcileBins(t, s, want, "v1-fallback")
+	st := s.Stats()
+	if st.RollupBlockReads != 0 {
+		t.Fatalf("v1 segments decoded %d rollup blocks; they have none", st.RollupBlockReads)
+	}
+	if st.RawBlockReads == 0 {
+		t.Fatal("v1 fallback answered binned queries without decoding raw blocks")
+	}
+
+	// Compact rewrites through the current writer, rebuilding rollups.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	rawBefore := s.Stats().RawBlockReads
+	reconcileBins(t, s, want, "post-compact")
+	st = s.Stats()
+	if got := st.RawBlockReads - rawBefore; got != 0 {
+		t.Fatalf("binned queries after compact decoded %d raw blocks, want 0", got)
+	}
+	if st.RollupBlockReads == 0 {
+		t.Fatal("binned queries after compact read no rollup blocks")
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Start: testStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	ctx := context.Background()
+	k := Key{Gateway: "gw001", Device: deviceMAC(0), Dir: DirIn}
+	bad := []QueryRequest{
+		{Key: k, Limit: -1},
+		{Key: k, From: testStart.Add(time.Hour), To: testStart},
+		{Key: k, Gran: Granularity(99)},
+		{Key: k, Gran: GranRaw, Agg: AggSum},
+		{Key: k, Reconstruct: true, Gran: Gran3h},
+		{Key: k, Reconstruct: true, Agg: AggMean},
+	}
+	for i, req := range bad {
+		if _, err := s.Query(ctx, req); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("request %d: got %v, want ErrBadRequest", i, err)
+		}
+	}
+	if _, err := ParseGranularity("5m"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("ParseGranularity(5m): %v", err)
+	}
+	if _, err := ParseAggregation("p99"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("ParseAggregation(p99): %v", err)
+	}
+}
+
+func TestQueryLimitTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Start: testStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, rep := range buildReports("gw001", 1, 600) {
+		if err := s.Append(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	k := Key{Gateway: "gw001", Device: deviceMAC(0), Dir: DirIn}
+	res, err := s.Query(ctx, QueryRequest{Key: k, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 10 || !res.Truncated {
+		t.Fatalf("raw limit: %d points, truncated=%v", len(res.Points), res.Truncated)
+	}
+	res, err = s.Query(ctx, QueryRequest{Key: k, Gran: Gran3h, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 2 || !res.Truncated {
+		t.Fatalf("binned limit: %d bins, truncated=%v", len(res.Bins), res.Truncated)
+	}
+}
+
+func TestQueryCampaignDefaults(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Start: testStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	minutes := 600
+	for _, rep := range buildReports("gw001", 1, minutes) {
+		if err := s.Append(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, end := s.Campaign()
+	if !start.Equal(testStart) {
+		t.Fatalf("campaign start %v, want %v", start, testStart)
+	}
+	if want := testStart.Add(time.Duration(minutes) * time.Minute); !end.Equal(want) {
+		t.Fatalf("campaign end %v, want %v", end, want)
+	}
+	ctx := context.Background()
+	k := Key{Gateway: "gw001", Device: deviceMAC(0), Dir: DirIn}
+	res, err := s.Query(ctx, QueryRequest{Key: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.From.Equal(start) || !res.To.Equal(end) {
+		t.Fatalf("defaulted range [%v, %v), want [%v, %v)", res.From, res.To, start, end)
+	}
+	// WholeWeeks rounds the defaulted end up to the dataset campaign
+	// granularity — what Export relies on.
+	res, err = s.Query(ctx, QueryRequest{Key: k, WholeWeeks: true, Reconstruct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := testStart.Add(minutesPerWeek * time.Minute); !res.To.Equal(want) {
+		t.Fatalf("whole-week end %v, want %v", res.To, want)
+	}
+	if got := len(res.Series.Values); got != minutesPerWeek {
+		t.Fatalf("reconstructed series has %d values, want %d", got, minutesPerWeek)
+	}
+	if res.LastIndex != minutes-1 {
+		t.Fatalf("LastIndex %d, want %d", res.LastIndex, minutes-1)
+	}
+}

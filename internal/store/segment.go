@@ -6,27 +6,42 @@ import (
 	"hash/crc32"
 	"os"
 	"sort"
+
+	"homesight/internal/obs"
 )
 
 // Segment file layout. Segments are immutable once written: a flush
 // writes the whole file to a temp name, fsyncs, then renames it into
 // place, so a segment either exists completely or not at all.
 //
-//	[8]  magic "HSEG0001"
-//	per block (series sorted by key, points sorted by timestamp):
-//	  [4]  CRC32-C of the payload
-//	  [n]  payload (encodeBlock)
+//	[8]  magic "HSEG0002"
+//	per series (sorted by key, points sorted by timestamp):
+//	  data blocks:
+//	    [4]  CRC32-C of the payload
+//	    [n]  payload (encodeBlock)
+//	  rollup blocks, one per granularity (3h, then 8h — Def. 3 bins):
+//	    [4]  CRC32-C of the payload
+//	    [n]  payload (encodeRollupBlock)
 //	footer: the index (see encodeFooter)
 //	[4]  CRC32-C of the footer
 //	[8]  footer length, little-endian
 //	[8]  magic "HSEGIDX1"
 //
 // The footer carries, per series, the block metadata (offset, length,
-// timestamp range, point count). Readers binary-search it, so a range
-// Select touches O(log blocks) index entries and only the data blocks
-// that overlap the range.
+// timestamp range, point count) for the data blocks and, in v2, the
+// rollup blocks of each granularity. Readers binary-search it, so a
+// range Select touches O(log blocks) index entries and only the data
+// blocks that overlap the range; an aggregate Query touches only the
+// rollup blocks and never decodes raw minutes.
+//
+// v1 segments ("HSEG0001", written before flush-time rollups existed)
+// stay readable: they simply carry no rollup blocks, and aggregate
+// queries over them fall back to folding the raw blocks. Compact
+// rewrites everything at the current version, so one compaction
+// upgrades a directory in place.
 const (
-	segMagic     = "HSEG0001"
+	segMagic     = "HSEG0002"
+	segMagicV1   = "HSEG0001"
 	segIdxMagic  = "HSEGIDX1"
 	segTailSize  = 4 + 8 + 8
 	maxSegFooter = 1 << 30
@@ -86,6 +101,17 @@ type blockMeta struct {
 type segSeries struct {
 	key    Key
 	blocks []blockMeta
+	// rollups holds the precomputed aggregate blocks, one slice per
+	// rollup granularity (indexed by rollupSlot; minTs/maxTs carry bin
+	// starts, count the number of bins). Empty for v1 segments.
+	rollups [rollupSlots][]blockMeta
+}
+
+// readCounters is the shared raw-vs-rollup block decode accounting every
+// segment of a store reports into; the query benchmark asserts through
+// it that downsampled queries never touch raw minute blocks.
+type readCounters struct {
+	raw, rollup *obs.Counter
 }
 
 // segment is one open, immutable segment file: the parsed footer index
@@ -99,7 +125,8 @@ type segment struct {
 	series    []segSeries
 	byKey     map[Key]int
 	points    int64
-	dataBytes int64 // sum of block payload bytes
+	dataBytes int64         // sum of data-block payload bytes
+	reads     *readCounters // nil: reads are not accounted
 }
 
 // keyedPoints is the flush input: one series and its sorted points.
@@ -111,8 +138,18 @@ type keyedPoints struct {
 // writeSegmentFile encodes series (already sorted by key, points sorted
 // by timestamp) into a new segment file at path, fsyncing before
 // returning. It writes through a temp file + rename so a crash mid-
-// flush leaves no partial segment behind.
-func writeSegmentFile(path string, series []keyedPoints, blockPoints int) (err error) {
+// flush leaves no partial segment behind. Flush-time rollups: alongside
+// the raw blocks, every series gets one precomputed aggregate block per
+// rollup granularity (3h and 8h — the paper's Def. 3 bins), so
+// downsampled queries never decode raw minutes.
+func writeSegmentFile(path string, series []keyedPoints, blockPoints int) error {
+	return writeSegmentFileVersion(path, series, blockPoints, 2)
+}
+
+// writeSegmentFileVersion is the version-parameterized writer; version 1
+// (no rollup blocks, v1 footer) exists only so the compatibility tests
+// can fabricate pre-rollup segments.
+func writeSegmentFileVersion(path string, series []keyedPoints, blockPoints, version int) (err error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -126,11 +163,24 @@ func writeSegmentFile(path string, series []keyedPoints, blockPoints int) (err e
 	}()
 
 	buf := make([]byte, 0, 1<<16)
-	buf = append(buf, segMagic...)
+	if version == 1 {
+		buf = append(buf, segMagicV1...)
+	} else {
+		buf = append(buf, segMagic...)
+	}
 	metas := make([]segSeries, 0, len(series))
 	var crcHdr [4]byte
 	payload := make([]byte, 0, 1<<15)
+	var bins []RollupBin
 	off := int64(len(buf))
+	appendBlock := func() blockMeta {
+		binary.LittleEndian.PutUint32(crcHdr[:], crc32.Checksum(payload, crcTable))
+		buf = append(buf, crcHdr[:]...)
+		buf = append(buf, payload...)
+		bm := blockMeta{off: off, length: len(payload)}
+		off += int64(4 + len(payload))
+		return bm
+	}
 	for _, kp := range series {
 		ss := segSeries{key: kp.key}
 		for start := 0; start < len(kp.pts); start += blockPoints {
@@ -140,21 +190,25 @@ func writeSegmentFile(path string, series []keyedPoints, blockPoints int) (err e
 			}
 			chunk := kp.pts[start:end]
 			payload = encodeBlock(payload[:0], chunk)
-			binary.LittleEndian.PutUint32(crcHdr[:], crc32.Checksum(payload, crcTable))
-			buf = append(buf, crcHdr[:]...)
-			buf = append(buf, payload...)
-			ss.blocks = append(ss.blocks, blockMeta{
-				off:    off,
-				length: len(payload),
-				minTs:  chunk[0].Ts,
-				maxTs:  chunk[len(chunk)-1].Ts,
-				count:  len(chunk),
-			})
-			off += int64(4 + len(payload))
+			bm := appendBlock()
+			bm.minTs, bm.maxTs, bm.count = chunk[0].Ts, chunk[len(chunk)-1].Ts, len(chunk)
+			ss.blocks = append(ss.blocks, bm)
+		}
+		if version >= 2 {
+			for slot, gran := range rollupGrans {
+				bins = computeRollups(bins[:0], kp.pts, gran.seconds())
+				if len(bins) == 0 {
+					continue
+				}
+				payload = encodeRollupBlock(payload[:0], bins)
+				bm := appendBlock()
+				bm.minTs, bm.maxTs, bm.count = bins[0].Start, bins[len(bins)-1].Start, len(bins)
+				ss.rollups[slot] = append(ss.rollups[slot], bm)
+			}
 		}
 		metas = append(metas, ss)
 	}
-	footer := encodeFooter(nil, metas)
+	footer := encodeFooter(nil, metas, version)
 	buf = append(buf, footer...)
 	var tail [segTailSize]byte
 	binary.LittleEndian.PutUint32(tail[0:4], crc32.Checksum(footer, crcTable))
@@ -199,28 +253,92 @@ func dirOf(path string) string {
 	return "."
 }
 
-// encodeFooter appends the index encoding to dst.
-func encodeFooter(dst []byte, series []segSeries) []byte {
+// encodeFooter appends the index encoding to dst. Version 2 footers
+// append, per series, one block-meta list per rollup granularity after
+// the data-block list; version 1 footers stop at the data blocks.
+func encodeFooter(dst []byte, series []segSeries, version int) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(series)))
 	for _, ss := range series {
 		dst = appendString(dst, ss.key.Gateway)
 		dst = appendString(dst, ss.key.Device)
 		dst = append(dst, byte(ss.key.Dir))
-		dst = binary.AppendUvarint(dst, uint64(len(ss.blocks)))
-		for _, bm := range ss.blocks {
-			dst = binary.AppendUvarint(dst, uint64(bm.off))
-			dst = binary.AppendUvarint(dst, uint64(bm.length))
-			dst = binary.AppendVarint(dst, bm.minTs)
-			dst = binary.AppendVarint(dst, bm.maxTs)
-			dst = binary.AppendUvarint(dst, uint64(bm.count))
+		dst = appendBlockMetas(dst, ss.blocks)
+		if version >= 2 {
+			for slot := range ss.rollups {
+				dst = appendBlockMetas(dst, ss.rollups[slot])
+			}
 		}
 	}
 	return dst
 }
 
+// appendBlockMetas appends one length-prefixed block-meta list.
+func appendBlockMetas(dst []byte, blocks []blockMeta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(blocks)))
+	for _, bm := range blocks {
+		dst = binary.AppendUvarint(dst, uint64(bm.off))
+		dst = binary.AppendUvarint(dst, uint64(bm.length))
+		dst = binary.AppendVarint(dst, bm.minTs)
+		dst = binary.AppendVarint(dst, bm.maxTs)
+		dst = binary.AppendUvarint(dst, uint64(bm.count))
+	}
+	return dst
+}
+
+// readBlockMetas decodes one length-prefixed block-meta list, bounds-
+// checking every entry against the file size.
+func readBlockMetas(data []byte, fileSize int64) ([]blockMeta, []byte, error) {
+	nBlocks, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("bad block count")
+	}
+	data = data[n:]
+	if nBlocks > uint64(len(data))+1 {
+		return nil, nil, fmt.Errorf("declares %d blocks in %d bytes", nBlocks, len(data))
+	}
+	if nBlocks == 0 {
+		return nil, data, nil
+	}
+	blocks := make([]blockMeta, 0, nBlocks)
+	for b := uint64(0); b < nBlocks; b++ {
+		var bm blockMeta
+		var v uint64
+		if v, n = binary.Uvarint(data); n <= 0 {
+			return nil, nil, fmt.Errorf("block %d: bad offset", b)
+		}
+		bm.off = int64(v)
+		data = data[n:]
+		if v, n = binary.Uvarint(data); n <= 0 {
+			return nil, nil, fmt.Errorf("block %d: bad length", b)
+		}
+		bm.length = int(v)
+		data = data[n:]
+		if bm.minTs, n = binary.Varint(data); n <= 0 {
+			return nil, nil, fmt.Errorf("block %d: bad minTs", b)
+		}
+		data = data[n:]
+		if bm.maxTs, n = binary.Varint(data); n <= 0 {
+			return nil, nil, fmt.Errorf("block %d: bad maxTs", b)
+		}
+		data = data[n:]
+		if v, n = binary.Uvarint(data); n <= 0 {
+			return nil, nil, fmt.Errorf("block %d: bad count", b)
+		}
+		bm.count = int(v)
+		data = data[n:]
+		if bm.off < int64(len(segMagic)) || bm.length < 0 ||
+			bm.off+4+int64(bm.length) > fileSize {
+			return nil, nil, fmt.Errorf("block %d: bounds [%d,+%d) outside file (%d bytes)",
+				b, bm.off, bm.length, fileSize)
+		}
+		blocks = append(blocks, bm)
+	}
+	return blocks, data, nil
+}
+
 // decodeFooter parses an index. Bounds are validated against the file
 // size so a corrupt footer cannot direct reads outside the file.
-func decodeFooter(data []byte, fileSize int64) ([]segSeries, error) {
+func decodeFooter(data []byte, fileSize int64, version int) ([]segSeries, error) {
 	nSeries, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, fmt.Errorf("bad series count")
@@ -247,47 +365,15 @@ func decodeFooter(data []byte, fileSize int64) ([]segSeries, error) {
 		}
 		ss.key.Dir = Direction(data[0])
 		data = data[1:]
-		nBlocks, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("series %d: bad block count", i)
+		if ss.blocks, data, err = readBlockMetas(data, fileSize); err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
 		}
-		data = data[n:]
-		if nBlocks > uint64(len(data))+1 {
-			return nil, fmt.Errorf("series %d declares %d blocks in %d bytes", i, nBlocks, len(data))
-		}
-		ss.blocks = make([]blockMeta, 0, nBlocks)
-		for b := uint64(0); b < nBlocks; b++ {
-			var bm blockMeta
-			var v uint64
-			if v, n = binary.Uvarint(data); n <= 0 {
-				return nil, fmt.Errorf("series %d block %d: bad offset", i, b)
+		if version >= 2 {
+			for slot := range ss.rollups {
+				if ss.rollups[slot], data, err = readBlockMetas(data, fileSize); err != nil {
+					return nil, fmt.Errorf("series %d rollup %s: %w", i, rollupGrans[slot], err)
+				}
 			}
-			bm.off = int64(v)
-			data = data[n:]
-			if v, n = binary.Uvarint(data); n <= 0 {
-				return nil, fmt.Errorf("series %d block %d: bad length", i, b)
-			}
-			bm.length = int(v)
-			data = data[n:]
-			if bm.minTs, n = binary.Varint(data); n <= 0 {
-				return nil, fmt.Errorf("series %d block %d: bad minTs", i, b)
-			}
-			data = data[n:]
-			if bm.maxTs, n = binary.Varint(data); n <= 0 {
-				return nil, fmt.Errorf("series %d block %d: bad maxTs", i, b)
-			}
-			data = data[n:]
-			if v, n = binary.Uvarint(data); n <= 0 {
-				return nil, fmt.Errorf("series %d block %d: bad count", i, b)
-			}
-			bm.count = int(v)
-			data = data[n:]
-			if bm.off < int64(len(segMagic)) || bm.length < 0 ||
-				bm.off+4+int64(bm.length) > fileSize {
-				return nil, fmt.Errorf("series %d block %d: bounds [%d,+%d) outside file (%d bytes)",
-					i, b, bm.off, bm.length, fileSize)
-			}
-			ss.blocks = append(ss.blocks, bm)
 		}
 		out = append(out, ss)
 	}
@@ -297,12 +383,12 @@ func decodeFooter(data []byte, fileSize int64) ([]segSeries, error) {
 // openSegment memory-maps nothing: it reads and validates the footer,
 // keeps the index in memory (a few bytes per 1024-point block) and
 // serves block reads on demand through ReadAt.
-func openSegment(path string, seq uint64) (*segment, error) {
+func openSegment(path string, seq uint64, rc *readCounters) (*segment, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &segment{path: path, seq: seq, f: f, byKey: make(map[Key]int)}
+	s := &segment{path: path, seq: seq, f: f, byKey: make(map[Key]int), reads: rc}
 	fail := func(err error) (*segment, error) {
 		_ = f.Close() //homesight:ignore unchecked-close — open failed; handle is read-only
 		return nil, fmt.Errorf("store: segment %s: %w", path, err)
@@ -319,7 +405,12 @@ func openSegment(path string, seq uint64) (*segment, error) {
 	if _, err := f.ReadAt(magic[:], 0); err != nil {
 		return fail(err)
 	}
-	if string(magic[:]) != segMagic {
+	version := 2
+	switch string(magic[:]) {
+	case segMagic:
+	case segMagicV1:
+		version = 1
+	default:
 		return fail(fmt.Errorf("bad magic %q", magic))
 	}
 	var tail [segTailSize]byte
@@ -340,7 +431,7 @@ func openSegment(path string, seq uint64) (*segment, error) {
 	if crc32.Checksum(footer, crcTable) != binary.LittleEndian.Uint32(tail[0:4]) {
 		return fail(fmt.Errorf("footer checksum mismatch"))
 	}
-	if s.series, err = decodeFooter(footer, s.size); err != nil {
+	if s.series, err = decodeFooter(footer, s.size, version); err != nil {
 		return fail(err)
 	}
 	for i, ss := range s.series {
@@ -355,8 +446,8 @@ func openSegment(path string, seq uint64) (*segment, error) {
 
 func (s *segment) close() error { return s.f.Close() }
 
-// readBlock fetches and decodes one block, verifying its checksum.
-func (s *segment) readBlock(bm blockMeta, dst []Point) ([]Point, error) {
+// readPayload fetches one CRC-framed payload, verifying the checksum.
+func (s *segment) readPayload(bm blockMeta) ([]byte, error) {
 	raw := make([]byte, 4+bm.length)
 	if _, err := s.f.ReadAt(raw, bm.off); err != nil {
 		return nil, fmt.Errorf("store: segment %s: block at %d: %w", s.path, bm.off, err)
@@ -365,11 +456,39 @@ func (s *segment) readBlock(bm blockMeta, dst []Point) ([]Point, error) {
 	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(raw[0:4]) {
 		return nil, fmt.Errorf("store: segment %s: block at %d: checksum mismatch", s.path, bm.off)
 	}
+	return payload, nil
+}
+
+// readBlock fetches and decodes one raw data block.
+func (s *segment) readBlock(bm blockMeta, dst []Point) ([]Point, error) {
+	if s.reads != nil {
+		s.reads.raw.Inc()
+	}
+	payload, err := s.readPayload(bm)
+	if err != nil {
+		return nil, err
+	}
 	pts, err := decodeBlock(dst, payload)
 	if err != nil {
 		return nil, fmt.Errorf("store: segment %s: block at %d: %w", s.path, bm.off, err)
 	}
 	return pts, nil
+}
+
+// readRollupBlock fetches and decodes one precomputed rollup block.
+func (s *segment) readRollupBlock(bm blockMeta, dst []RollupBin) ([]RollupBin, error) {
+	if s.reads != nil {
+		s.reads.rollup.Inc()
+	}
+	payload, err := s.readPayload(bm)
+	if err != nil {
+		return nil, err
+	}
+	bins, err := decodeRollupBlock(dst, payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: rollup block at %d: %w", s.path, bm.off, err)
+	}
+	return bins, nil
 }
 
 // blocksInRange returns the block metas of key overlapping [fromSec,
@@ -389,31 +508,90 @@ func (s *segment) blocksInRange(key Key, fromSec, toSec int64) []blockMeta {
 	return blocks[lo:hi]
 }
 
+// rollupBlocksInRange returns the rollup block metas of key (for the
+// granularity at slot) whose bins overlap [fromSec, toSec). Callers
+// align the range to bin boundaries first; meta minTs/maxTs carry bin
+// starts, so a block overlaps when maxTs >= alignedFrom && minTs <
+// alignedTo. Returns ok=false for v1 segments (no rollup blocks), in
+// which case the caller falls back to folding raw blocks.
+func (s *segment) rollupBlocksInRange(key Key, slot int, fromSec, toSec int64) ([]blockMeta, bool) {
+	i, ok := s.byKey[key]
+	if !ok {
+		return nil, true
+	}
+	ss := s.series[i]
+	if len(ss.blocks) > 0 && len(ss.rollups[slot]) == 0 {
+		return nil, false
+	}
+	blocks := ss.rollups[slot]
+	lo := sort.Search(len(blocks), func(j int) bool { return blocks[j].maxTs >= fromSec })
+	hi := lo
+	for hi < len(blocks) && blocks[hi].minTs < toSec {
+		hi++
+	}
+	return blocks[lo:hi], true
+}
+
 // verify re-reads every block of the segment, checking CRCs, decode
-// round-trips, meta consistency and strict timestamp ordering. It is
-// the heavy half of `homestore verify`.
+// round-trips, meta consistency and strict timestamp ordering, then
+// recomputes each series' rollups from its raw points and compares them
+// bin-for-bin against the precomputed rollup blocks. It is the heavy
+// half of `homestore verify`.
 func (s *segment) verify() error {
+	var pts []Point
+	var want, got []RollupBin
 	for _, ss := range s.series {
 		prev := int64(-1 << 62)
+		pts = pts[:0]
 		for bi, bm := range ss.blocks {
-			pts, err := s.readBlock(bm, nil)
+			lenBefore := len(pts)
+			var err error
+			pts, err = s.readBlock(bm, pts)
 			if err != nil {
 				return err
 			}
-			if len(pts) != bm.count {
+			blk := pts[lenBefore:]
+			if len(blk) != bm.count {
 				return fmt.Errorf("store: segment %s: %v block %d: %d points, index says %d",
-					s.path, ss.key, bi, len(pts), bm.count)
+					s.path, ss.key, bi, len(blk), bm.count)
 			}
-			if pts[0].Ts != bm.minTs || pts[len(pts)-1].Ts != bm.maxTs {
+			if len(blk) == 0 {
+				continue
+			}
+			if blk[0].Ts != bm.minTs || blk[len(blk)-1].Ts != bm.maxTs {
 				return fmt.Errorf("store: segment %s: %v block %d: range [%d,%d], index says [%d,%d]",
-					s.path, ss.key, bi, pts[0].Ts, pts[len(pts)-1].Ts, bm.minTs, bm.maxTs)
+					s.path, ss.key, bi, blk[0].Ts, blk[len(blk)-1].Ts, bm.minTs, bm.maxTs)
 			}
-			for _, p := range pts {
+			for _, p := range blk {
 				if p.Ts <= prev {
 					return fmt.Errorf("store: segment %s: %v block %d: timestamp %d not after %d",
 						s.path, ss.key, bi, p.Ts, prev)
 				}
 				prev = p.Ts
+			}
+		}
+		for slot, gran := range rollupGrans {
+			if len(ss.blocks) > 0 && len(ss.rollups[slot]) == 0 {
+				continue // v1 segment: nothing precomputed to check
+			}
+			want = computeRollups(want[:0], pts, gran.seconds())
+			got = got[:0]
+			for _, bm := range ss.rollups[slot] {
+				var err error
+				got, err = s.readRollupBlock(bm, got)
+				if err != nil {
+					return err
+				}
+			}
+			if len(want) != len(got) {
+				return fmt.Errorf("store: segment %s: %v %s rollup: %d bins, raw points fold to %d",
+					s.path, ss.key, gran, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					return fmt.Errorf("store: segment %s: %v %s rollup bin %d: stored %+v, raw points fold to %+v",
+						s.path, ss.key, gran, i, got[i], want[i])
+				}
 			}
 		}
 	}

@@ -31,6 +31,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -146,6 +147,12 @@ type Stats struct {
 	WALRecords     int     // records replayed at Open
 	WALTruncations int     // torn tails truncated at Open
 	Compression    float64 // raw bytes (16/point) over encoded segment bytes
+
+	// RawBlockReads and RollupBlockReads count segment block decodes by
+	// kind since Open — how the query benchmark proves a downsampled
+	// query never touched raw minute blocks.
+	RawBlockReads    int64
+	RollupBlockReads int64
 }
 
 // Store is an open homestore directory. All methods are safe for
@@ -166,7 +173,8 @@ type Store struct {
 	names     map[string]map[string]string
 	segs      []*segment
 	nextSeg   uint64
-	scratch   []byte // WAL record encode buffer, reused under mu
+	scratch   []byte        // WAL record encode buffer, reused under mu
+	reads     *readCounters // raw-vs-rollup block decode accounting, shared by all segments
 
 	reports, points, dups int64
 	walRecords, walTrunc  int
@@ -197,6 +205,10 @@ func Open(cfg Config) (*Store, error) {
 		flushCh: make(chan struct{}, 1),
 		stopCh:  make(chan struct{}),
 		nextSeg: 1,
+		reads: &readCounters{
+			raw:    cfg.Metrics.BlockReads.With("raw"),
+			rollup: cfg.Metrics.BlockReads.With("rollup"),
+		},
 	}
 	if err := s.loadMeta(); err != nil {
 		return nil, err
@@ -318,7 +330,7 @@ func (s *Store) openSegments() error {
 		return err
 	}
 	for _, seq := range seqs {
-		seg, err := openSegment(s.segPath(seq), seq)
+		seg, err := openSegment(s.segPath(seq), seq, s.reads)
 		if err != nil {
 			s.closeSegments()
 			return err
@@ -570,7 +582,7 @@ func (s *Store) doFlush() error {
 		return err
 	}
 	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
-	seg, err := openSegment(path, seq)
+	seg, err := openSegment(path, seq, s.reads)
 	if err != nil {
 		return err
 	}
@@ -709,14 +721,16 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Reports:        s.reports,
-		Points:         s.points,
-		DupPoints:      s.dups,
-		Series:         len(s.wm),
-		Segments:       len(s.segs),
-		MemPoints:      s.memPoints,
-		WALRecords:     s.walRecords,
-		WALTruncations: s.walTrunc,
+		Reports:          s.reports,
+		Points:           s.points,
+		DupPoints:        s.dups,
+		Series:           len(s.wm),
+		Segments:         len(s.segs),
+		MemPoints:        s.memPoints,
+		WALRecords:       s.walRecords,
+		WALTruncations:   s.walTrunc,
+		RawBlockReads:    s.reads.raw.Value(),
+		RollupBlockReads: s.reads.rollup.Value(),
 	}
 	if s.wal != nil {
 		st.WALBytes = s.wal.bytes
@@ -882,12 +896,21 @@ func (it *Iterator) At() Point { return it.cur }
 func (it *Iterator) Err() error { return it.err }
 
 // Select returns an iterator over one series restricted to timestamps
-// in [from, to). It merges segments (oldest first), the frozen memtable
-// and the active memtable; per-series time ranges across those layers
-// are disjoint by construction (the watermark only moves forward), so
-// the merge is an ordered concatenation with a dedup guard.
+// in [from, to).
+//
+// Deprecated: use Query with a GranRaw QueryRequest; Select remains as
+// a thin wrapper for callers that want streaming iteration.
 func (s *Store) Select(key Key, from, to time.Time) *Iterator {
-	it := &Iterator{fromSec: from.Unix(), toSec: to.Unix()}
+	return s.iter(key, from.Unix(), to.Unix())
+}
+
+// iter is the merged-read core behind Select and Query: segments
+// (oldest first), then the frozen memtable, then the active one.
+// Per-series time ranges across those layers are disjoint by
+// construction (the watermark only moves forward), so the merge is an
+// ordered concatenation with a dedup guard.
+func (s *Store) iter(key Key, fromSec, toSec int64) *Iterator {
+	it := &Iterator{fromSec: fromSec, toSec: toSec}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, seg := range s.segs {
@@ -915,47 +938,35 @@ func rangeOf(pts []Point, fromSec, toSec int64) []Point {
 }
 
 // SelectAll returns an iterator over a series' full stored range.
+//
+// Deprecated: use Query with a zero From/To (campaign defaulting).
 func (s *Store) SelectAll(key Key) *Iterator {
-	return s.Select(key, time.Unix(math.MinInt64/2, 0), time.Unix(math.MaxInt64/2, 0))
+	return s.iter(key, math.MinInt64/2, math.MaxInt64/2)
 }
 
 // DeviceSeries reconstructs a device's per-minute in/out series from
 // the stored cumulative counters, padded to n samples (0 keeps the
-// natural length). The reconstruction mirrors gateway.Recorder exactly:
-// wrap-aware differencing through gateway.Meter, meter reset across
-// reporting gaps, NaN for unobserved minutes. It returns nils for an
-// unknown device.
+// natural length: one past the device's last stored sample). It returns
+// nils for an unknown device.
+//
+// Deprecated: use Query with Reconstruct (one call per direction); the
+// reconstruction semantics — wrap-aware differencing through
+// gateway.Meter, meter reset across reporting gaps, NaN for unobserved
+// minutes — live there now.
 func (s *Store) DeviceSeries(gatewayID, mac string, n int) (in, out *timeseries.Series, err error) {
-	stepSec := int64(s.cfg.Step / time.Second)
-	startSec := s.cfg.Start.Unix()
-	var vals [2][]float64
+	var ser [2]*timeseries.Series
 	maxLen := 0
 	for dir := 0; dir < 2; dir++ {
-		var m gateway.Meter
-		lastIdx := -1
-		it := s.SelectAll(Key{Gateway: gatewayID, Device: mac, Dir: Direction(dir)})
-		for it.Next() {
-			p := it.At()
-			idx := int((p.Ts - startSec) / stepSec)
-			if p.Ts < startSec || idx < 0 {
-				continue
-			}
-			if lastIdx >= 0 && idx != lastIdx+1 {
-				m.Reset()
-			}
-			for len(vals[dir]) <= idx {
-				vals[dir] = append(vals[dir], math.NaN())
-			}
-			if d, ok := m.Delta(p.Val); ok {
-				vals[dir][idx] = float64(d)
-			}
-			lastIdx = idx
-		}
-		if err := it.Err(); err != nil {
+		res, err := s.Query(context.Background(), QueryRequest{
+			Key:         Key{Gateway: gatewayID, Device: mac, Dir: Direction(dir)},
+			Reconstruct: true,
+		})
+		if err != nil {
 			return nil, nil, err
 		}
-		if len(vals[dir]) > maxLen {
-			maxLen = len(vals[dir])
+		ser[dir] = res.Series
+		if res.LastIndex+1 > maxLen {
+			maxLen = res.LastIndex + 1
 		}
 	}
 	if maxLen == 0 {
@@ -964,7 +975,9 @@ func (s *Store) DeviceSeries(gatewayID, mac string, n int) (in, out *timeseries.
 	if n <= 0 {
 		n = maxLen
 	}
+	var vals [2][]float64
 	for dir := 0; dir < 2; dir++ {
+		vals[dir] = ser[dir].Values
 		for len(vals[dir]) < n {
 			vals[dir] = append(vals[dir], math.NaN())
 		}
@@ -1043,7 +1056,7 @@ func (s *Store) Compact() error {
 		return err
 	}
 	//homesight:ignore lock-held — flushMu exists to serialize segment production I/O; s.mu (the hot lock) is NOT held here
-	seg, err := openSegment(path, seq)
+	seg, err := openSegment(path, seq, s.reads)
 	if err != nil {
 		return err
 	}

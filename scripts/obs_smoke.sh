@@ -6,8 +6,11 @@
 # on stderr, curls /healthz and /metrics, and greps the exposition for
 # one representative series from each instrumented layer (ingest,
 # runner, cache). Then boots cmd/collector with -data-dir to verify the
-# homesight_store_* families reach the same surface. Wired into
-# `make check` via the obs-smoke target.
+# homesight_store_* families reach the same surface, and finally
+# `homestore serve` on the collector's store to verify the query tier:
+# one /api/v1/* endpoint answering the versioned envelope and the
+# homesight_query_* families on /metrics. Wired into `make check` via
+# the obs-smoke target.
 #
 # Exits non-zero (and prints the captured log) on any missing endpoint
 # or metric, so a refactor that silently unregisters a family fails CI.
@@ -15,8 +18,8 @@ set -eu
 
 GO=${GO:-go}
 TMP=$(mktemp -d)
-PID= CPID=
-trap 'kill "$PID" "$CPID" 2>/dev/null || true; wait "$PID" "$CPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PID= CPID= QPID=
+trap 'kill "$PID" "$CPID" "$QPID" 2>/dev/null || true; wait "$PID" "$CPID" "$QPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 # A tiny run (-run fig5 keeps it to one experiment) held open long
 # enough to scrape; -hold is the window, generous for slow CI machines.
@@ -120,4 +123,50 @@ done
 kill "$CPID" 2>/dev/null || true
 wait "$CPID" 2>/dev/null || true
 CPID=
-echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store) and pprof all served"
+
+# Query tier: homestore serve on the collector's (empty but valid)
+# store must answer /api/v1/homes with the versioned envelope and put
+# the homesight_query_* families on the same /metrics surface.
+$GO run ./cmd/homestore serve -dir "$TMP/store" -addr 127.0.0.1:0 \
+    >"$TMP/q-stdout" 2>"$TMP/q-stderr" &
+QPID=$!
+
+QADDR=
+i=0
+while [ $i -lt 150 ]; do
+    QADDR=$(sed -n 's/.*msg="query server listening".* addr=\([0-9.:]*\).*/\1/p' "$TMP/q-stderr" | head -n 1)
+    [ -n "$QADDR" ] && break
+    if ! kill -0 "$QPID" 2>/dev/null; then
+        echo "obs-smoke: homestore serve exited before serving" >&2
+        cat "$TMP/q-stderr" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$QADDR" ]; then
+    echo "obs-smoke: query server never announced an address" >&2
+    cat "$TMP/q-stderr" >&2
+    exit 1
+fi
+
+qfail() {
+    echo "obs-smoke: $1" >&2
+    cat "$TMP/q-stderr" >&2
+    exit 1
+}
+
+curl -fsS --max-time 10 "http://$QADDR/api/v1/homes" >"$TMP/q-homes" || qfail "/api/v1/homes unreachable"
+grep -q '"version":"v1"' "$TMP/q-homes" || qfail "/api/v1/homes not wrapped in the v1 envelope"
+
+curl -fsS --max-time 10 "http://$QADDR/metrics" >"$TMP/q-metrics" || qfail "query /metrics unreachable"
+for metric in \
+    homesight_query_requests_total \
+    homesight_query_cache_misses_total; do
+    grep -q "^# TYPE $metric " "$TMP/q-metrics" || qfail "query /metrics misses $metric"
+done
+
+kill "$QPID" 2>/dev/null || true
+wait "$QPID" 2>/dev/null || true
+QPID=
+echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store+query), /api/v1 and pprof all served"
