@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 SARIF ?= homesight-vet.sarif
 
-.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-store bench-query test-faults fuzz-smoke obs-smoke check
+.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-scaling bench-store bench-query test-faults fuzz-smoke obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -36,6 +36,9 @@ bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit r
 bench-build: ## compile the benchmark harness without running it (check smoke)
 	$(GO) test -c -o /dev/null .
 
+bench-scaling: ## enforce the p=4 >= 2.5x speedup floor on the full suite (skips on hosts with <4 CPUs)
+	HOMESIGHT_BENCH_SCALING=1 $(GO) test -run TestRunnerScalingFloor -count=1 -v .
+
 bench-store: ## store append/select/compression benchmarks; writes BENCH_store.json
 	HOMESIGHT_BENCH_STORE_JSON=$(abspath BENCH_store.json) $(GO) test -run TestBenchStoreJSON -count=1 ./internal/store
 
@@ -51,5 +54,5 @@ fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codecs, WAL r
 obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
-check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-store bench-query fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + store bench + query bench + fuzz smoke + obs smoke
+check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-scaling bench-store bench-query fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + scaling floor + store bench + query bench + fuzz smoke + obs smoke
 	@echo "check: all gates passed"

@@ -138,7 +138,14 @@ func main() {
 	fmt.Printf("homesight experiments — %d gateways, %d weeks, seed %d\n\n",
 		env.Dep.Config().Homes, env.Dep.Config().Weeks, env.Dep.Config().Seed)
 
-	eng := runner.Engine{Parallelism: *parallel, Timeout: *timeout, Obs: runner.NewRunnerMetrics(reg)}
+	// Warming every shared cache only pays off when the full suite runs;
+	// a -run subset skips the pre-pass and fills caches on demand.
+	eng := runner.Engine{
+		Parallelism: *parallel,
+		Timeout:     *timeout,
+		Obs:         runner.NewRunnerMetrics(reg),
+		SkipWarm:    len(selected) > 0,
+	}
 	reports, metrics, runErr := eng.Run(context.Background(), env, exps)
 
 	// Reports come back in registration order whatever the parallelism, so

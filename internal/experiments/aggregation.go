@@ -212,8 +212,9 @@ func TabStationaryShare(ctx context.Context, e *Env) (StationaryShareResult, err
 		err      error
 	}
 	per := make([]perHome, len(idxs))
+	gws := e.gatewayCaches()
 	if err := e.forEach(ctx, len(idxs), func(j int) {
-		gc := e.gateways[idxs[j]]
+		gc := gws[idxs[j]]
 		p := &per[j]
 		raw, err := an.WeeklyGateway(truncate(gc.raw, days), 3*time.Hour, 0)
 		if err != nil {

@@ -191,9 +191,8 @@ type ResidentsResult struct {
 // TabResidentsCorrelation correlates dominant counts with resident counts
 // over the survey subset.
 func TabResidentsCorrelation(ctx context.Context, e *Env) (ResidentsResult, error) {
-	e.ensureGateways()
 	var surveyed []*gatewayCache
-	for _, gc := range e.gateways {
+	for _, gc := range e.gatewayCaches() {
 		if gc.surveyed && gc.weeklyCoverageMain {
 			surveyed = append(surveyed, gc)
 		}

@@ -48,15 +48,22 @@ type Env struct {
 	parallelism int
 	reg         *obs.Registry
 	caches      map[string]*cacheMetrics
+	// now is the clock behind the cache build-wait timings; injected as a
+	// field so the deterministic analysis packages stay free of direct
+	// time.Now calls.
+	now func() time.Time
+	// sem is the shared helper budget of forEach: parallelism-1 slots,
+	// drawn on by every concurrent fan-out in the Env. Sharing one budget
+	// is what lets a lone dominant experiment borrow the whole budget
+	// while concurrent experiments split it fairly.
+	sem chan struct{}
 
-	gatewaysOnce sync.Once
-	gatewaysCtr  *cacheMetrics
-	gateways     []*gatewayCache
-
+	gws    *memo[int, []*gatewayCache]
 	series *memo[int, homeSeries]
 	pairs  *memo[int, []corrsim.Detail]
 	doms   *memo[int, dominance.Result]
 	taus   *memo[tauKey, background.Threshold]
+	stat   *memo[int, gatewayStationarity]
 
 	// Store backing (WithStore): homes whose gateway the store holds read
 	// their series from disk; the rest stay synthetic. See env_store.go.
@@ -201,6 +208,8 @@ func NewEnv(opts ...Option) (*Env, error) {
 		parallelism:      cfg.parallelism,
 		reg:              cfg.registry,
 		caches:           make(map[string]*cacheMetrics),
+		now:              time.Now,
+		sem:              make(chan struct{}, cfg.parallelism-1),
 	}
 	if e.WeeksWeeklyMotif > e.Dep.Config().Weeks {
 		e.WeeksWeeklyMotif = e.Dep.Config().Weeks
@@ -208,11 +217,12 @@ func NewEnv(opts ...Option) (*Env, error) {
 	if e.WeeksMain > e.Dep.Config().Weeks {
 		e.WeeksMain = e.Dep.Config().Weeks
 	}
-	e.gatewaysCtr = e.newCache("gateway-aggregates")
-	e.series = newMemo[int, homeSeries](e.newCache("device-series"))
-	e.pairs = newMemo[int, []corrsim.Detail](e.newCache("pair-similarity"))
-	e.doms = newMemo[int, dominance.Result](e.newCache("dominance"))
-	e.taus = newMemo[tauKey, background.Threshold](e.newCache("background-threshold"))
+	e.gws = newMemo[int, []*gatewayCache](e.newCache("gateway-aggregates"), e.now)
+	e.series = newMemo[int, homeSeries](e.newCache("device-series"), e.now)
+	e.pairs = newMemo[int, []corrsim.Detail](e.newCache("pair-similarity"), e.now)
+	e.doms = newMemo[int, dominance.Result](e.newCache("dominance"), e.now)
+	e.taus = newMemo[tauKey, background.Threshold](e.newCache("background-threshold"), e.now)
+	e.stat = newMemo[int, gatewayStationarity](e.newCache("stationarity"), e.now)
 	if cfg.storeDir != "" {
 		if err := e.openStore(cfg.storeDir); err != nil {
 			return nil, err
@@ -228,13 +238,18 @@ func (e *Env) Parallelism() int { return e.parallelism }
 // one WithRegistry supplied, or the Env's private default.
 func (e *Env) Registry() *obs.Registry { return e.reg }
 
-// CacheStats snapshots the hit/miss counters of every shared cache. The
-// map shape feeds telemetry.RunMetrics.Caches unchanged, so the -metrics
-// JSON report is byte-identical to the pre-registry plumbing.
+// CacheStats snapshots the hit/miss/build-wait counters of every shared
+// cache. The map shape feeds telemetry.RunMetrics.Caches unchanged, so
+// the -metrics JSON report extends the pre-registry plumbing.
 func (e *Env) CacheStats() map[string]telemetry.CacheSnapshot {
 	out := make(map[string]telemetry.CacheSnapshot, len(e.caches))
 	for name, c := range e.caches {
-		out[name] = telemetry.CacheSnapshot{Hits: c.hits.Value(), Misses: c.misses.Value()}
+		out[name] = telemetry.CacheSnapshot{
+			Hits:             c.hits.Value(),
+			Misses:           c.misses.Value(),
+			BuildWaits:       c.waits.Value(),
+			BuildWaitSeconds: c.waitSeconds.Sum(),
+		}
 	}
 	return out
 }
@@ -243,7 +258,8 @@ func (e *Env) CacheStats() map[string]telemetry.CacheSnapshot {
 // are build-once and never evict, so evictions is registered (the series
 // exists for dashboards) but only a future bounded cache would move it.
 type cacheMetrics struct {
-	hits, misses, evictions *obs.Counter
+	hits, misses, evictions, waits *obs.Counter
+	waitSeconds                    *obs.Histogram
 }
 
 // newCache registers the per-cache series under the shared cache
@@ -256,6 +272,11 @@ func (e *Env) newCache(name string) *cacheMetrics {
 			"Cache lookups that had to build their value.", "cache").With(name),
 		evictions: e.reg.CounterVec("homesight_cache_evictions_total",
 			"Cache entries evicted (always 0 today: the memo caches never evict).", "cache").With(name),
+		waits: e.reg.CounterVec("homesight_cache_build_waits_total",
+			"Cache lookups that blocked on another caller's in-flight build.", "cache").With(name),
+		waitSeconds: e.reg.HistogramVec("homesight_cache_build_wait_seconds",
+			"Seconds a lookup spent blocked on another caller's in-flight cache build.",
+			"cache", nil).With(name),
 	}
 	e.caches[name] = c
 	return c
@@ -265,50 +286,105 @@ func (e *Env) newCache(name string) *cacheMetrics {
 func (e *Env) Home(i int) *synth.Home { return e.Dep.Home(i) }
 
 // memo is a race-safe lazy cache: concurrent callers of get share one
-// build per key (the first caller builds, the rest block on its Once),
-// and every lookup is counted on the Env's cache stats.
+// build per key. The first caller builds; later callers either hit a
+// completed entry or block on the in-flight build — and that blocking is
+// counted separately from hits (build waits, with the blocked time on a
+// histogram), because a caller that stalls for the whole build is
+// contention, not cache warmth. A build that panics clears its entry
+// before the panic propagates, so the next caller rebuilds instead of
+// reading a poisoned zero value forever.
 type memo[K comparable, V any] struct {
 	counter *cacheMetrics
+	now     func() time.Time
 	mu      sync.Mutex
 	entries map[K]*memoEntry[V]
 }
 
+// memoEntry is one key's build state. done is closed when the build
+// finishes, successfully or not; failed entries are deleted from the map
+// before done closes, so an entry that is both in the map and done is
+// always a completed value.
 type memoEntry[V any] struct {
-	once sync.Once
-	v    V
+	done   chan struct{}
+	v      V
+	failed bool
 }
 
-func newMemo[K comparable, V any](c *cacheMetrics) *memo[K, V] {
-	return &memo[K, V]{counter: c, entries: make(map[K]*memoEntry[V])}
+func newMemo[K comparable, V any](c *cacheMetrics, now func() time.Time) *memo[K, V] {
+	return &memo[K, V]{counter: c, now: now, entries: make(map[K]*memoEntry[V])}
 }
 
 func (m *memo[K, V]) get(k K, build func() V) V {
-	m.mu.Lock()
-	e := m.entries[k]
-	if e == nil {
-		e = &memoEntry[V]{}
-		m.entries[k] = e
-		m.counter.misses.Inc()
-	} else {
-		m.counter.hits.Inc()
+	for {
+		m.mu.Lock()
+		e := m.entries[k]
+		if e == nil {
+			e = &memoEntry[V]{done: make(chan struct{})}
+			m.entries[k] = e
+			m.counter.misses.Inc()
+			m.mu.Unlock()
+			return m.build(k, e, build)
+		}
+		select {
+		case <-e.done:
+			// In the map and done ⇒ built successfully (failed builds are
+			// deleted before their done closes).
+			m.counter.hits.Inc()
+			m.mu.Unlock()
+			return e.v
+		default:
+		}
+		m.counter.waits.Inc()
+		m.mu.Unlock()
+		t0 := m.now()
+		<-e.done
+		m.counter.waitSeconds.Observe(m.now().Sub(t0).Seconds())
+		if !e.failed {
+			return e.v
+		}
+		// The build we blocked on panicked in its goroutine; retry — the
+		// entry is gone from the map, so some caller rebuilds it.
 	}
-	m.mu.Unlock()
-	e.once.Do(func() { e.v = build() })
+}
+
+// build runs one entry's build outside the memo lock. On panic the
+// entry is removed (the next get retries) and the panic propagates to
+// this caller — the engine's per-experiment containment reports it.
+func (m *memo[K, V]) build(k K, e *memoEntry[V], build func() V) V {
+	ok := false
+	defer func() {
+		if !ok {
+			m.mu.Lock()
+			delete(m.entries, k)
+			m.mu.Unlock()
+			e.failed = true
+		}
+		close(e.done)
+	}()
+	e.v = build()
+	ok = true
 	return e.v
 }
 
 // forEach runs fn(i) for every i in [0, n), fanned out across the Env's
-// parallelism. fn must confine its writes to per-index slots; callers
-// reduce those slots in index order afterwards, which is what keeps
-// parallel output byte-identical to the sequential path. Cancellation is
-// checked between items — a deadline stops scheduling new homes but never
-// interrupts one mid-flight, and caches are never left half-built.
+// shared helper budget. fn must confine its writes to per-index slots;
+// callers reduce those slots in index order afterwards, which is what
+// keeps parallel output byte-identical to the sequential path.
+// Cancellation is checked between items — a deadline stops scheduling
+// new items but never interrupts one mid-flight, and caches are never
+// left half-built. On cancellation the returned error is non-nil and
+// some slots are unwritten: callers must propagate it and never reduce
+// over the slots.
+//
+// Scheduling is two-level: the engine's pool decides which experiments
+// (and experiment shards) run, while every forEach in the Env draws
+// helpers from one semaphore of parallelism-1 slots. The calling
+// goroutine always works, so fan-out never deadlocks when the budget is
+// exhausted (including nested fan-outs during cache builds), and a
+// dominant experiment running alone borrows the whole budget the moment
+// its neighbours finish.
 func (e *Env) forEach(ctx context.Context, n int, fn func(i int)) error {
-	p := e.parallelism
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
+	if e.parallelism <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -318,37 +394,58 @@ func (e *Env) forEach(ctx context.Context, n int, fn func(i int)) error {
 		return nil
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+	work := func() {
+		for ctx.Err() == nil {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			fn(i)
+		}
 	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// The grower recruits one helper per free budget slot for as long as
+	// unclaimed items remain, so budget released by a finishing fan-out
+	// elsewhere in the Env is re-acquired here mid-flight.
+	go func() {
+		defer wg.Done()
+		for int(next.Load()) < n {
+			select {
+			case e.sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-e.sem }()
+					work()
+				}()
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	work()
+	close(done)
 	wg.Wait()
 	return ctx.Err()
 }
 
-// ensureGateways builds the per-home aggregate cache on first use. The
-// build is guarded by a sync.Once — under the parallel engine many
-// experiments race to be first here, and the old nil-check-and-build was
-// a latent data race.
-func (e *Env) ensureGateways() {
-	built := false
-	e.gatewaysOnce.Do(func() {
-		built = true
+// gatewayCaches returns the per-home aggregate cache, built on first
+// use. The build goes through the memo layer like every other shared
+// intermediate, so concurrent first callers share one build (counted as
+// build waits, not hits) and a panicking build is retried by the next
+// caller instead of leaving a poisoned nil cache — under the parallel
+// engine many experiments race to be first here.
+func (e *Env) gatewayCaches() []*gatewayCache {
+	return e.gws.get(0, func() []*gatewayCache {
 		nHomes := e.Dep.NumHomes()
-		e.gateways = make([]*gatewayCache, nHomes)
+		gws := make([]*gatewayCache, nHomes)
 		// The aggregate build itself fans out: each slot i is written by
-		// exactly one worker, and nothing reads e.gateways until Do returns.
-		//homesight:ignore ctx-flow — Once-guarded cache build: later callers share the result, so the first caller's cancellation must not poison the cache
+		// exactly one worker, and nothing reads gws until the build returns.
+		//homesight:ignore ctx-flow — memoized cache build: later callers share the result, so the first caller's cancellation must not poison the cache
 		_ = e.forEach(context.Background(), nHomes, func(i int) {
 			h := e.Home(i)
 			gc := &gatewayCache{
@@ -369,14 +466,33 @@ func (e *Env) ensureGateways() {
 			gc.weeklyCoverageMain = dataset.HasWeeklyCoverage(gc.raw, e.WeeksMain)
 			gc.weeklyCoverageMotif = dataset.HasWeeklyCoverage(gc.raw, e.WeeksWeeklyMotif)
 			gc.dailyCoverageMain = dataset.HasDailyCoverage(gc.raw, e.WeeksMain*7)
-			e.gateways[i] = gc
+			gws[i] = gc
 		})
+		return gws
 	})
-	if built {
-		e.gatewaysCtr.misses.Inc()
-	} else {
-		e.gatewaysCtr.hits.Inc()
+}
+
+// Warm pre-builds every heavy shared intermediate — the per-home
+// gateway aggregates (with their per-device background thresholds),
+// device series, pairwise correlation details and dominance results —
+// fanned across the Env's parallelism before any experiment runs. With
+// a warm Env no experiment pays another's first-touch build or blocks
+// on an in-flight one, which is what drives the
+// homesight_cache_build_wait_seconds series to ~0 under the parallel
+// engine. The engine calls Warm automatically unless Engine.SkipWarm is
+// set (cmd/experiments sets it when -run selects a subset, where
+// warming every cache would cost more than the experiments saved).
+func (e *Env) Warm(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	e.gatewayCaches()
+	idxs := e.WeeklyCohortIndexes()
+	// Dominance pulls device series and pair details through their own
+	// memos, so one pass over the cohort fills all three caches.
+	return e.forEach(ctx, len(idxs), func(j int) {
+		e.Dominance(idxs[j])
+	})
 }
 
 // Threshold returns the memoized τ_back of device dev in home i estimated
@@ -500,8 +616,7 @@ func (e *Env) Dominance(i int) dominance.Result {
 // WeeklyCohort returns the active series of homes with weekly coverage over
 // the first `weeks` weeks, truncated to that span.
 func (e *Env) WeeklyCohort(weeks int) (ids []string, series []*timeseries.Series) {
-	e.ensureGateways()
-	for _, gc := range e.gateways {
+	for _, gc := range e.gatewayCaches() {
 		covered := gc.weeklyCoverageMain
 		if weeks == e.WeeksWeeklyMotif {
 			covered = gc.weeklyCoverageMotif
@@ -522,9 +637,8 @@ func (e *Env) WeeklyCohort(weeks int) (ids []string, series []*timeseries.Series
 // coverage cohort, in home order — the iteration axis of the dominance
 // experiments.
 func (e *Env) WeeklyCohortIndexes() []int {
-	e.ensureGateways()
 	var idxs []int
-	for _, gc := range e.gateways {
+	for _, gc := range e.gatewayCaches() {
 		if gc.weeklyCoverageMain {
 			idxs = append(idxs, gc.index)
 		}
@@ -535,8 +649,7 @@ func (e *Env) WeeklyCohortIndexes() []int {
 // DailyCohort returns the active series of homes with daily coverage over
 // the first WeeksMain weeks.
 func (e *Env) DailyCohort() (ids []string, series []*timeseries.Series) {
-	e.ensureGateways()
-	for _, gc := range e.gateways {
+	for _, gc := range e.gatewayCaches() {
 		if !gc.dailyCoverageMain {
 			continue
 		}
@@ -548,8 +661,7 @@ func (e *Env) DailyCohort() (ids []string, series []*timeseries.Series) {
 
 // RawOverall returns the raw overall series of home i, truncated to days.
 func (e *Env) RawOverall(i, days int) *timeseries.Series {
-	e.ensureGateways()
-	return truncate(e.gateways[i].raw, days)
+	return truncate(e.gatewayCaches()[i].raw, days)
 }
 
 // truncate slices a minute series to the first `days` days.
@@ -561,10 +673,10 @@ func truncate(s *timeseries.Series, days int) *timeseries.Series {
 // observations during the first week — the paper's "most representative
 // gateways" of Sec. 4.1.
 func (e *Env) TopObservedGateways(k int) []int {
-	e.ensureGateways()
+	gws := e.gatewayCaches()
 	type pair struct{ idx, obs int }
-	pairs := make([]pair, 0, len(e.gateways))
-	for i, gc := range e.gateways {
+	pairs := make([]pair, 0, len(gws))
+	for i, gc := range gws {
 		pairs = append(pairs, pair{i, truncate(gc.raw, 7).ObservedCount()})
 	}
 	// Selection sort for the top k: n is small (hundreds).

@@ -70,7 +70,7 @@ func (e *Env) openStore(dir string) error {
 	for _, id := range st.Gateways() {
 		e.storeGWs[id] = true
 	}
-	e.storeSer = newMemo[int, storeHome](e.newCache("store-series"))
+	e.storeSer = newMemo[int, storeHome](e.newCache("store-series"), e.now)
 	return nil
 }
 

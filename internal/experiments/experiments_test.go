@@ -73,8 +73,9 @@ func TestEnvCohorts(t *testing.T) {
 		t.Errorf("weekly series len = %d", wSeries[0].Len())
 	}
 	// Active traffic never exceeds raw traffic.
-	raw := e.RawOverall(e.gateways[0].index, 7)
-	act := truncate(e.gateways[0].active, 7)
+	gws := e.gatewayCaches()
+	raw := e.RawOverall(gws[0].index, 7)
+	act := truncate(gws[0].active, 7)
 	if act.Total() > raw.Total() {
 		t.Error("active total exceeds raw total")
 	}

@@ -209,7 +209,7 @@ type MotifDominance struct {
 // statistic is an integer count, so the final shares are identical no
 // matter which worker finished first.
 func AnalyzeMotifDominance(ctx context.Context, e *Env, r MotifSetResult, profiles []MotifProfile) ([]MotifDominance, error) {
-	e.ensureGateways()
+	gws := e.gatewayCaches()
 	det := e.Framework.Detector()
 
 	byID := map[int]*motif.Motif{}
@@ -253,7 +253,7 @@ func AnalyzeMotifDominance(ctx context.Context, e *Env, r MotifSetResult, profil
 	}
 
 	idToIndex := map[string]int{}
-	for _, gc := range e.gateways {
+	for _, gc := range gws {
 		idToIndex[gc.id] = gc.index
 	}
 

@@ -174,6 +174,7 @@ func Fig02ACFCCF(ctx context.Context, e *Env) (Fig02Result, error) {
 		ok   bool
 	}
 	per := make([]prepped, len(top))
+	gws := e.gatewayCaches()
 	if err := e.forEach(ctx, len(top), func(k int) {
 		idx := top[k]
 		s := e.RawOverall(idx, 14).FillMissing(0)
@@ -181,7 +182,7 @@ func Fig02ACFCCF(ctx context.Context, e *Env) (Fig02Result, error) {
 		if err != nil {
 			return
 		}
-		per[k] = prepped{id: e.gateways[idx].id, vals: agg.Values, ok: true}
+		per[k] = prepped{id: gws[idx].id, vals: agg.Values, ok: true}
 	}); err != nil {
 		return Fig02Result{}, err
 	}
@@ -283,21 +284,26 @@ type StationarityTestsResult struct {
 	KSWeekPairsRejected, KSWeekPairs int
 }
 
-// TabStationarityTests runs KPSS/ADF/KS over the top observed gateways.
-func TabStationarityTests(ctx context.Context, e *Env) (StationarityTestsResult, error) {
-	top := e.TopObservedGateways(10)
-	type perGateway struct {
-		kpss, adf          bool
-		ksPairs, ksRejects int
-	}
-	per := make([]perGateway, len(top))
-	if err := e.forEach(ctx, len(top), func(k int) {
-		idx := top[k]
+// gatewayStationarity is one gateway's cached KPSS/ADF/KS outcome over
+// the 28-day minute-resolution window — the unit of work the engine
+// schedules when it shards the stationarity experiment per home.
+type gatewayStationarity struct {
+	kpss, adf          bool
+	ksPairs, ksRejects int
+}
+
+// Stationarity returns the memoized unit-root/stationarity outcome of
+// home i. It is the per-home sub-unit behind TabStationarityTests: the
+// engine warms it shard-by-shard on its worker pool, and the assembly
+// pass then reduces warm entries in index order, keeping the report
+// byte-identical to a sequential run.
+func (e *Env) Stationarity(i int) gatewayStationarity {
+	return e.stat.get(i, func() gatewayStationarity {
 		// The paper tests the raw one-minute series ("time series with
 		// current one minute binning are highly irregular, there are no
 		// stationary gateways").
-		s := e.RawOverall(idx, 28).FillMissing(0)
-		p := &per[k]
+		s := e.RawOverall(i, 28).FillMissing(0)
+		var p gatewayStationarity
 		if kp, err := tests.KPSS(s.Values, -1); err == nil && kp.PValue < core.Alpha {
 			p.kpss = true
 		}
@@ -326,6 +332,20 @@ func TabStationarityTests(ctx context.Context, e *Env) (StationarityTestsResult,
 				}
 			}
 		}
+		return p
+	})
+}
+
+// StationarityGateways returns the home indexes TabStationarityTests
+// covers — the shard axis the engine fans across its pool.
+func (e *Env) StationarityGateways() []int { return e.TopObservedGateways(10) }
+
+// TabStationarityTests runs KPSS/ADF/KS over the top observed gateways.
+func TabStationarityTests(ctx context.Context, e *Env) (StationarityTestsResult, error) {
+	top := e.StationarityGateways()
+	per := make([]gatewayStationarity, len(top))
+	if err := e.forEach(ctx, len(top), func(k int) {
+		per[k] = e.Stationarity(top[k])
 	}); err != nil {
 		return StationarityTestsResult{}, err
 	}
@@ -440,6 +460,7 @@ func Fig03Clustering(ctx context.Context, e *Env) (Fig03Result, error) {
 		ok   bool
 	}
 	per := make([]prepped, len(top))
+	gws := e.gatewayCaches()
 	if err := e.forEach(ctx, len(top), func(k int) {
 		idx := top[k]
 		s := e.RawOverall(idx, 7).FillMissing(0)
@@ -447,7 +468,7 @@ func Fig03Clustering(ctx context.Context, e *Env) (Fig03Result, error) {
 		if err != nil {
 			return
 		}
-		per[k] = prepped{id: e.gateways[idx].id, vals: agg.Values, ok: true}
+		per[k] = prepped{id: gws[idx].id, vals: agg.Values, ok: true}
 	}); err != nil {
 		return Fig03Result{}, err
 	}

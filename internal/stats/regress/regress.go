@@ -1,6 +1,12 @@
 // Package regress implements ordinary least squares via Householder QR
 // decomposition. It is the numerical substrate for the unit-root tests
 // (ADF, KPSS) and the autoregressive forecaster used by homesight.
+//
+// The fit is allocation-aware: a Workspace owns every buffer a fit
+// needs (the QR working copy, the reflector scratch, the result
+// slices), so hot callers like the ADF loop reuse one workspace across
+// fits and pay zero allocations per fit. The one-shot OLS helper wraps
+// a private workspace, so casual callers keep an independent Model.
 package regress
 
 import (
@@ -34,8 +40,76 @@ type Model struct {
 
 // OLS fits y = X·beta + eps by least squares. X is row-major: X[i] is the
 // i-th observation's predictor vector (include a column of ones for an
-// intercept). It requires len(X) == len(y) and n > p.
+// intercept). It requires len(X) == len(y) and n > p. The returned Model
+// owns its slices; for repeated fits on the hot path use a Workspace.
 func OLS(x [][]float64, y []float64) (*Model, error) {
+	var w Workspace
+	return w.Fit(x, y)
+}
+
+// Workspace holds the reusable buffers of repeated OLS fits: the
+// column-major QR working copy, reflector scratch, and the Model result
+// storage. The zero value is ready to use. A Workspace is not safe for
+// concurrent use, and the Model returned by its Fit methods aliases the
+// workspace buffers — it is valid only until the next fit on the same
+// workspace. Callers that need the result to outlive the workspace must
+// copy it (or use the one-shot OLS).
+type Workspace struct {
+	// design is the row-major n×p original design: either filled by the
+	// caller through Design, or copied from Fit's [][]float64 argument.
+	// It survives the factorization so residuals and R² come from the
+	// original data, not the reflector-overwritten copy.
+	design []float64
+	// y is the response; like design, it is preserved across the fit.
+	y []float64
+	// qr is the column-major n×p working copy consumed by the
+	// factorization. Column-major is deliberate: every Householder inner
+	// loop walks one column, so the hot loops run over contiguous
+	// memory instead of striding across row slices.
+	qr []float64
+	// rdiag, scale and rinv are the R diagonal, the original column
+	// norms (rank-tolerance scale) and the p×p inverse of R.
+	rdiag, scale, rinv []float64
+
+	coeffs, stderrs, resid []float64
+	model                  Model
+	n, p                   int
+}
+
+// grow resizes buf to n, reusing capacity.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Design returns the workspace's row-major n×p design buffer and
+// length-n response buffer, sized (and reused) for the next FitDesign
+// call. The caller fills both and calls FitDesign; this is how the ADF
+// loop builds its lagged-difference design with no per-fit allocation.
+// The buffers' previous contents are unspecified.
+func (w *Workspace) Design(n, p int) (design, y []float64) {
+	w.n, w.p = n, p
+	w.design = grow(w.design, n*p)
+	w.y = grow(w.y, n)
+	return w.design, w.y
+}
+
+// FitDesign fits the design prepared by the last Design call. The
+// returned Model aliases workspace storage (see Workspace).
+func (w *Workspace) FitDesign() (*Model, error) {
+	n, p := w.n, w.p
+	if n == 0 || p == 0 || n <= p {
+		return nil, ErrShape
+	}
+	return w.fit()
+}
+
+// Fit fits y = X·beta + eps, copying the row-major X into the
+// workspace. It validates shapes exactly like OLS. The returned Model
+// aliases workspace storage (see Workspace).
+func (w *Workspace) Fit(x [][]float64, y []float64) (*Model, error) {
 	n := len(x)
 	if n == 0 || n != len(y) {
 		return nil, ErrShape
@@ -49,85 +123,125 @@ func OLS(x [][]float64, y []float64) (*Model, error) {
 			return nil, ErrShape
 		}
 	}
-
-	// Householder QR on a working copy [A | b].
-	a := make([][]float64, n)
-	for i := range a {
-		a[i] = make([]float64, p)
-		copy(a[i], x[i])
+	design, resp := w.Design(n, p)
+	for i, row := range x {
+		copy(design[i*p:(i+1)*p], row)
 	}
-	b := make([]float64, n)
+	copy(resp, y)
+	return w.fit()
+}
+
+// colNorm computes the Euclidean norm of v without overflow by scaling
+// with the max magnitude — the sum-of-squares replacement for the old
+// per-element math.Hypot chain, which dominated the fit's inner loops.
+func colNorm(v []float64) float64 {
+	amax := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > amax {
+			amax = a
+		}
+	}
+	if amax == 0 || math.IsInf(amax, 0) {
+		return amax
+	}
+	ssq := 0.0
+	for _, x := range v {
+		r := x / amax
+		ssq += r * r
+	}
+	return amax * math.Sqrt(ssq)
+}
+
+// fit runs the Householder QR factorization and fills the workspace
+// model. w.design/w.y hold the original system; w.qr is overwritten.
+func (w *Workspace) fit() (*Model, error) {
+	n, p := w.n, w.p
+	design, y := w.design, w.y
+
+	// Transpose the row-major design into the column-major working copy
+	// and copy the response: the factorization consumes both.
+	w.qr = grow(w.qr, n*p)
+	qr := w.qr
+	for i := 0; i < n; i++ {
+		row := design[i*p : (i+1)*p]
+		for j, v := range row {
+			qr[j*n+i] = v
+		}
+	}
+	w.resid = grow(w.resid, n)
+	b := w.resid // holds Q'b during the factorization, residuals after
 	copy(b, y)
 
 	// Original column norms provide the scale for the rank tolerance.
-	colScale := make([]float64, p)
+	w.scale = grow(w.scale, p)
 	for j := 0; j < p; j++ {
-		for i := 0; i < n; i++ {
-			colScale[j] = math.Hypot(colScale[j], x[i][j])
-		}
-		if colScale[j] == 0 {
+		w.scale[j] = colNorm(qr[j*n : j*n+n])
+		if w.scale[j] == 0 {
 			return nil, ErrSingular
 		}
 	}
 
 	// rdiag collects the diagonal of R.
-	rdiag := make([]float64, p)
+	w.rdiag = grow(w.rdiag, p)
+	rdiag := w.rdiag
 	for k := 0; k < p; k++ {
+		ck := qr[k*n : k*n+n]
 		// Norm of column k below the diagonal.
-		norm := 0.0
-		for i := k; i < n; i++ {
-			norm = math.Hypot(norm, a[i][k])
-		}
-		if norm <= 1e-12*colScale[k] {
+		norm := colNorm(ck[k:])
+		if norm <= 1e-12*w.scale[k] {
 			return nil, ErrSingular
 		}
-		if a[k][k] < 0 {
+		if ck[k] < 0 {
 			norm = -norm
 		}
+		inv := 1 / norm
 		for i := k; i < n; i++ {
-			a[i][k] /= norm
+			ck[i] *= inv
 		}
-		a[k][k] += 1
+		ck[k] += 1
+		akk := ck[k]
 
-		// Apply the reflector to the remaining columns and to b.
+		// Apply the reflector to the remaining columns and to b. Both
+		// inner loops are contiguous column walks.
 		for j := k + 1; j < p; j++ {
+			cj := qr[j*n : j*n+n]
 			s := 0.0
 			for i := k; i < n; i++ {
-				s += a[i][k] * a[i][j]
+				s += ck[i] * cj[i]
 			}
-			s = -s / a[k][k]
+			s = -s / akk
 			for i := k; i < n; i++ {
-				a[i][j] += s * a[i][k]
+				cj[i] += s * ck[i]
 			}
 		}
 		s := 0.0
 		for i := k; i < n; i++ {
-			s += a[i][k] * b[i]
+			s += ck[i] * b[i]
 		}
-		s = -s / a[k][k]
+		s = -s / akk
 		for i := k; i < n; i++ {
-			b[i] += s * a[i][k]
+			b[i] += s * ck[i]
 		}
 		rdiag[k] = -norm
 	}
 
-	// Back substitution: R beta = Q'b (upper triangle of a, diagonal rdiag).
-	beta := make([]float64, p)
+	// Back substitution: R beta = Q'b (upper triangle of qr, diagonal
+	// rdiag). R's strict upper part sits at qr[j*n+k] for row k < col j.
+	w.coeffs = grow(w.coeffs, p)
+	beta := w.coeffs
 	for k := p - 1; k >= 0; k-- {
 		if rdiag[k] == 0 || math.Abs(rdiag[k]) < 1e-300 {
 			return nil, ErrSingular
 		}
 		s := b[k]
 		for j := k + 1; j < p; j++ {
-			s -= a[k][j] * beta[j]
+			s -= qr[j*n+k] * beta[j]
 		}
 		beta[k] = s / rdiag[k]
 	}
 
-	m := &Model{Coeffs: beta, N: n, P: p}
-
-	// Residuals and RSS from the original data.
-	m.Residuals = make([]float64, n)
+	// Residuals and RSS from the original data; b is reused as the
+	// residual buffer now that Q'b is spent.
 	rss := 0.0
 	meanY := 0.0
 	for _, v := range y {
@@ -135,66 +249,74 @@ func OLS(x [][]float64, y []float64) (*Model, error) {
 	}
 	meanY /= float64(n)
 	tss := 0.0
-	for i := range y {
+	for i := 0; i < n; i++ {
+		row := design[i*p : (i+1)*p]
 		pred := 0.0
-		for j := 0; j < p; j++ {
-			pred += x[i][j] * beta[j]
+		for j, v := range row {
+			pred += v * beta[j]
 		}
-		m.Residuals[i] = y[i] - pred
-		rss += m.Residuals[i] * m.Residuals[i]
+		r := y[i] - pred
+		b[i] = r
+		rss += r * r
 		tss += (y[i] - meanY) * (y[i] - meanY)
 	}
+
+	m := &w.model
+	*m = Model{Coeffs: beta, Residuals: b, N: n, P: p}
 	m.Sigma2 = rss / float64(n-p)
 	if tss > 0 {
 		m.R2 = 1 - rss/tss
 	}
 
 	// Standard errors: sigma2 * diag((X'X)^-1) via R inverse:
-	// (X'X)^-1 = R^-1 R^-T. Solve R'z = e_j then R w = z per column.
-	m.StdErrs = make([]float64, p)
-	rinv := invertUpper(a, rdiag, p)
-	if rinv == nil {
+	// (X'X)^-1 = R^-1 R^-T.
+	if !w.invertUpper() {
 		return nil, ErrSingular
 	}
+	w.stderrs = grow(w.stderrs, p)
 	for j := 0; j < p; j++ {
 		sum := 0.0
 		for k := j; k < p; k++ {
-			sum += rinv[j][k] * rinv[j][k]
+			v := w.rinv[j*p+k]
+			sum += v * v
 		}
-		m.StdErrs[j] = math.Sqrt(m.Sigma2 * sum)
+		w.stderrs[j] = math.Sqrt(m.Sigma2 * sum)
 	}
+	m.StdErrs = w.stderrs
 	return m, nil
 }
 
-// invertUpper inverts the upper-triangular R whose strict upper part is in a
-// and diagonal in rdiag. Returns row-major R^-1 (upper triangular).
-func invertUpper(a [][]float64, rdiag []float64, p int) [][]float64 {
-	r := make([][]float64, p)
-	for i := range r {
-		r[i] = make([]float64, p)
-		r[i][i] = rdiag[i]
-		for j := i + 1; j < p; j++ {
-			r[i][j] = a[i][j]
-		}
-	}
-	inv := make([][]float64, p)
+// invertUpper inverts the upper-triangular R held in the factorized
+// workspace (strict upper part in qr column-major, diagonal in rdiag)
+// into w.rinv, row-major p×p. Returns false on a zero diagonal.
+func (w *Workspace) invertUpper() bool {
+	n, p := w.n, w.p
+	w.rinv = grow(w.rinv, p*p)
+	inv := w.rinv
 	for i := range inv {
-		inv[i] = make([]float64, p)
+		inv[i] = 0
+	}
+	// r(i,j) = rdiag[i] on the diagonal, qr[j*n+i] strictly above it.
+	r := func(i, j int) float64 {
+		if i == j {
+			return w.rdiag[i]
+		}
+		return w.qr[j*n+i]
 	}
 	for j := p - 1; j >= 0; j-- {
-		if r[j][j] == 0 {
-			return nil
+		if w.rdiag[j] == 0 {
+			return false
 		}
-		inv[j][j] = 1 / r[j][j]
+		inv[j*p+j] = 1 / w.rdiag[j]
 		for i := j - 1; i >= 0; i-- {
 			s := 0.0
 			for k := i + 1; k <= j; k++ {
-				s += r[i][k] * inv[k][j]
+				s += r(i, k) * inv[k*p+j]
 			}
-			inv[i][j] = -s / r[i][i]
+			inv[i*p+j] = -s / w.rdiag[i]
 		}
 	}
-	return inv
+	return true
 }
 
 // TStats returns the coefficient t-statistics beta / stderr.

@@ -1,0 +1,177 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// goldenSystem regenerates the fixed random system whose fit was
+// recorded before the flat-buffer/scaled-norm rewrite. The goldens pin
+// the rewrite to the old numerics at ±1e-12.
+func goldenSystem() (x [][]float64, y []float64) {
+	rng := rand.New(rand.NewSource(424242))
+	const n, p = 400, 5
+	truth := []float64{0.7, 1.3, -0.45, 0.08, -2.2}
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		row[0] = 1
+		for j := 1; j < p; j++ {
+			row[j] = rng.NormFloat64() * float64(j)
+		}
+		x[i] = row
+		v := 0.0
+		for j, c := range truth {
+			v += c * row[j]
+		}
+		y[i] = v + 0.5*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// goldenFit holds the pre-optimization OLS output for goldenSystem,
+// captured from the row-major math.Hypot implementation this package
+// shipped before the workspace rewrite.
+var goldenFit = struct {
+	coeffs [5][2]float64 // {coefficient, stderr}
+	sigma2 float64
+	r2     float64
+}{
+	coeffs: [5][2]float64{
+		{0.65249826858440929, 0.025558372116007599},
+		{1.2858506178947133, 0.02541397184497577},
+		{-0.46455264362917098, 0.01289205026987583},
+		{0.090399766833779011, 0.0086730669974340192},
+		{-2.1942205453320405, 0.0062734366253343948},
+	},
+	sigma2: 0.26078343230261553,
+	r2:     0.99682122643687987,
+}
+
+func TestOLSMatchesPreOptimizationGoldens(t *testing.T) {
+	x, y := goldenSystem()
+	check := func(name string, m *Model) {
+		t.Helper()
+		const tol = 1e-12
+		for j, want := range goldenFit.coeffs {
+			if got := m.Coeffs[j]; math.Abs(got-want[0]) > tol {
+				t.Errorf("%s: coeff[%d] = %.17g, golden %.17g (|diff| %g)", name, j, got, want[0], math.Abs(got-want[0]))
+			}
+			if got := m.StdErrs[j]; math.Abs(got-want[1]) > tol {
+				t.Errorf("%s: stderr[%d] = %.17g, golden %.17g (|diff| %g)", name, j, got, want[1], math.Abs(got-want[1]))
+			}
+		}
+		if math.Abs(m.Sigma2-goldenFit.sigma2) > tol {
+			t.Errorf("%s: sigma2 = %.17g, golden %.17g", name, m.Sigma2, goldenFit.sigma2)
+		}
+		if math.Abs(m.R2-goldenFit.r2) > tol {
+			t.Errorf("%s: r2 = %.17g, golden %.17g", name, m.R2, goldenFit.r2)
+		}
+	}
+
+	m, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	check("OLS", m)
+
+	// The workspace paths must agree with the one-shot fit exactly.
+	var w Workspace
+	m2, err := w.Fit(x, y)
+	if err != nil {
+		t.Fatalf("Workspace.Fit: %v", err)
+	}
+	check("Workspace.Fit", m2)
+
+	n, p := len(x), len(x[0])
+	design, resp := w.Design(n, p)
+	for i, row := range x {
+		copy(design[i*p:(i+1)*p], row)
+	}
+	copy(resp, y)
+	m3, err := w.FitDesign()
+	if err != nil {
+		t.Fatalf("FitDesign: %v", err)
+	}
+	check("FitDesign", m3)
+}
+
+// TestWorkspaceFitZeroAllocs is the allocation contract for the hot
+// path: after the first fit sizes the buffers, repeated fits on the
+// same workspace allocate nothing.
+func TestWorkspaceFitZeroAllocs(t *testing.T) {
+	x, y := goldenSystem()
+	var w Workspace
+	if _, err := w.Fit(x, y); err != nil { // size the buffers
+		t.Fatalf("warm-up fit: %v", err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := w.Fit(x, y); err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Workspace.Fit allocates %v objects per fit, want 0", allocs)
+	}
+
+	n, p := len(x), len(x[0])
+	allocs = testing.AllocsPerRun(20, func() {
+		design, resp := w.Design(n, p)
+		for i, row := range x {
+			copy(design[i*p:(i+1)*p], row)
+		}
+		copy(resp, y)
+		if _, err := w.FitDesign(); err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Design+FitDesign allocates %v objects per fit, want 0", allocs)
+	}
+}
+
+// TestWorkspaceRecoversAfterError ensures a failed fit (singular or
+// bad shape) leaves the workspace usable.
+func TestWorkspaceRecoversAfterError(t *testing.T) {
+	var w Workspace
+	bad := [][]float64{{1, 2}, {2, 4}, {3, 6}} // rank 1
+	if _, err := w.Fit(bad, []float64{1, 2, 3}); err != ErrSingular {
+		t.Fatalf("singular fit err = %v, want ErrSingular", err)
+	}
+	x, y := goldenSystem()
+	m, err := w.Fit(x, y)
+	if err != nil {
+		t.Fatalf("fit after error: %v", err)
+	}
+	if math.Abs(m.Coeffs[0]-goldenFit.coeffs[0][0]) > 1e-12 {
+		t.Fatalf("fit after error diverged: coeff[0] = %v", m.Coeffs[0])
+	}
+}
+
+func BenchmarkWorkspaceFit(b *testing.B) {
+	x, y := goldenSystem()
+	var w Workspace
+	if _, err := w.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOLSOneShot(b *testing.B) {
+	x, y := goldenSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OLS(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,10 +2,23 @@ package tests
 
 import (
 	"math"
+	"sync"
 
 	"homesight/internal/stats"
 	"homesight/internal/stats/regress"
 )
+
+// urScratch is the reusable per-call state for ADF/KPSS: the OLS
+// workspace plus the difference/residual buffer. Pooled so the
+// unit-root sweeps over every gateway series stop re-allocating a full
+// design matrix per fit — the workspace buffers dominate and are sized
+// once at the campaign's series length.
+type urScratch struct {
+	ws  regress.Workspace
+	buf []float64
+}
+
+var urPool = sync.Pool{New: func() any { return new(urScratch) }}
 
 // UnitRootResult is the outcome of a unit-root / stationarity test.
 type UnitRootResult struct {
@@ -49,22 +62,25 @@ func ADF(y []float64, lags int) (UnitRootResult, error) {
 		return UnitRootResult{}, ErrTooShort
 	}
 
-	dy := diff(y)
+	sc := urPool.Get().(*urScratch)
+	defer urPool.Put(sc)
+	dy := diffInto(sc.buf, y)
+	sc.buf = dy
+
 	rows := len(dy) - lags
-	x := make([][]float64, rows)
-	resp := make([]float64, rows)
+	p := 2 + lags
+	design, resp := sc.ws.Design(rows, p)
 	for i := 0; i < rows; i++ {
 		tIdx := i + lags // index into dy; corresponds to y index tIdx+1
-		row := make([]float64, 2+lags)
+		row := design[i*p : (i+1)*p]
 		row[0] = 1
 		row[1] = y[tIdx] // y_{t-1}
 		for k := 1; k <= lags; k++ {
 			row[1+k] = dy[tIdx-k]
 		}
-		x[i] = row
 		resp[i] = dy[tIdx]
 	}
-	m, err := regress.OLS(x, resp)
+	m, err := sc.ws.FitDesign()
 	if err != nil {
 		// A constant series has no unit-root question to answer; callers in
 		// the traffic pipeline treat it as trivially stationary.
@@ -125,8 +141,13 @@ func KPSS(y []float64, lags int) (UnitRootResult, error) {
 	}
 
 	// Residuals from the level: e_t = y_t - mean.
+	sc := urPool.Get().(*urScratch)
+	defer urPool.Put(sc)
 	mean := stats.Mean(y)
-	e := make([]float64, t)
+	if cap(sc.buf) < t {
+		sc.buf = make([]float64, t)
+	}
+	e := sc.buf[:t]
 	for i, v := range y {
 		e[i] = v - mean
 	}
@@ -185,10 +206,20 @@ func kpssPValue(eta float64) float64 {
 
 // diff returns the first differences of y.
 func diff(y []float64) []float64 {
+	return diffInto(nil, y)
+}
+
+// diffInto writes the first differences of y into buf (reusing its
+// capacity) and returns the result.
+func diffInto(buf, y []float64) []float64 {
 	if len(y) < 2 {
-		return nil
+		return buf[:0]
 	}
-	d := make([]float64, len(y)-1)
+	n := len(y) - 1
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	d := buf[:n]
 	for i := 1; i < len(y); i++ {
 		d[i-1] = y[i] - y[i-1]
 	}

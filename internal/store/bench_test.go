@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -175,13 +176,13 @@ func TestBenchStoreJSON(t *testing.T) {
 		{
 			"name":            "StoreAppend",
 			"reports":         appendN,
-			"ns_per_op":       appendSecs / appendN * 1e9,
+			"ns_per_op":       int64(math.Round(appendSecs / appendN * 1e9)),
 			"reports_per_sec": float64(appendN) / appendSecs,
 		},
 		{
 			"name":          "StoreSelect",
 			"window":        "24h",
-			"ns_per_op":     selectSecs / selectN * 1e9,
+			"ns_per_op":     int64(math.Round(selectSecs / selectN * 1e9)),
 			"points_per_op": float64(selected) / selectN,
 		},
 		{

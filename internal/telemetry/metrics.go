@@ -14,19 +14,28 @@ import (
 	"sort"
 )
 
-// CacheSnapshot is a point-in-time view of one cache's counters.
+// CacheSnapshot is a point-in-time view of one cache's counters. A hit
+// is a lookup served from a completed entry; a lookup that blocked on
+// another caller's in-flight build is a build wait, counted separately
+// with its blocked time — folding waits into hits is what let the old
+// hit rate overstate cache warmth while the first builds serialized the
+// whole parallel suite.
 //
 //homesight:stats
 type CacheSnapshot struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// BuildWaits counts lookups that blocked on an in-flight build;
+	// BuildWaitSeconds is their total blocked time.
+	BuildWaits       int64   `json:"build_waits"`
+	BuildWaitSeconds float64 `json:"build_wait_seconds"`
 }
 
 // Lookups is the total number of lookups observed.
-func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses }
+func (s CacheSnapshot) Lookups() int64 { return s.Hits + s.Misses + s.BuildWaits }
 
-// HitRate is the fraction of lookups served from the cache (0 when the
-// cache was never consulted).
+// HitRate is the fraction of lookups served from the cache without
+// blocking (0 when the cache was never consulted).
 func (s CacheSnapshot) HitRate() float64 {
 	n := s.Lookups()
 	if n == 0 {

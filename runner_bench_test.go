@@ -1,10 +1,15 @@
 package homesight
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"os"
+	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -95,35 +100,68 @@ func BenchmarkRunnerParallel(b *testing.B) {
 	}
 }
 
-// TestBenchRunnerJSON writes BENCH_runner.json (ns/op and cache hit rate of
-// one full-suite run per parallelism) when HOMESIGHT_BENCH_JSON is set —
-// the `make bench` artifact.
+// benchEntry is one BENCH_runner.json record. ns_per_op is integer
+// nanoseconds — the writer rounds, because fractional nanoseconds made
+// diffs noisy and thresholds fragile for no information gained.
+type benchEntry struct {
+	Name         string  `json:"name"`
+	Parallelism  int     `json:"parallelism"`
+	NumCPU       int     `json:"num_cpu"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	BuildWaits   int64   `json:"cache_build_waits"`
+	Goroutines   int     `json:"goroutine_high_water"`
+}
+
+// benchEntryFor converts one run's metrics into its JSON record.
+func benchEntryFor(p int, m telemetry.RunMetrics) benchEntry {
+	name := "RunnerSequential"
+	if p > 1 {
+		name = fmt.Sprintf("RunnerParallel%d", p)
+	}
+	var waits int64
+	for _, c := range m.Caches {
+		waits += c.BuildWaits
+	}
+	return benchEntry{
+		Name:         name,
+		Parallelism:  p,
+		NumCPU:       runtime.NumCPU(),
+		NsPerOp:      int64(math.Round(m.WallSeconds * 1e9)),
+		CacheHitRate: m.CacheHitRate(),
+		BuildWaits:   waits,
+		Goroutines:   m.GoroutineHighWater,
+	}
+}
+
+// benchParallelisms is the ladder BENCH_runner.json records: 1, 2, 4 and
+// the host's CPU count, deduplicated and ascending.
+func benchParallelisms() []int {
+	ps := []int{1, 2, 4}
+	ncpu := runtime.NumCPU()
+	if ncpu != 1 && ncpu != 2 && ncpu != 4 {
+		ps = append(ps, ncpu)
+	}
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	return ps
+}
+
+// TestBenchRunnerJSON writes BENCH_runner.json (integer ns/op, cache hit
+// rate and build waits of one full-suite run per parallelism) when
+// HOMESIGHT_BENCH_JSON is set — the `make bench` artifact.
 func TestBenchRunnerJSON(t *testing.T) {
 	path := os.Getenv("HOMESIGHT_BENCH_JSON")
 	if path == "" {
 		t.Skip("set HOMESIGHT_BENCH_JSON=BENCH_runner.json to write the bench artifact")
 	}
-	type entry struct {
-		Name         string  `json:"name"`
-		Parallelism  int     `json:"parallelism"`
-		NsPerOp      float64 `json:"ns_per_op"`
-		CacheHitRate float64 `json:"cache_hit_rate"`
-		Goroutines   int     `json:"goroutine_high_water"`
-	}
-	var entries []entry
-	for _, p := range []int{1, 4} {
-		name := "RunnerSequential"
-		if p > 1 {
-			name = "RunnerParallel"
-		}
+	var entries []benchEntry
+	for _, p := range benchParallelisms() {
 		_, m := runSuite(t, p)
-		entries = append(entries, entry{
-			Name:         name,
-			Parallelism:  p,
-			NsPerOp:      m.WallSeconds * 1e9,
-			CacheHitRate: m.CacheHitRate(),
-			Goroutines:   m.GoroutineHighWater,
-		})
+		entries = append(entries, benchEntryFor(p, m))
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -136,6 +174,74 @@ func TestBenchRunnerJSON(t *testing.T) {
 	}()
 	if err := writeBenchJSON(f, entries); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchWriterRoundTrip pins the writer's format: entries survive an
+// encode/decode round trip unchanged, and ns_per_op is serialized as
+// integer nanoseconds (no fractional part, ever).
+func TestBenchWriterRoundTrip(t *testing.T) {
+	in := []benchEntry{
+		{Name: "RunnerSequential", Parallelism: 1, NumCPU: 4,
+			NsPerOp:      int64(math.Round(8.000708920999999 * 1e9)),
+			CacheHitRate: 0.5617283950617284, BuildWaits: 3, Goroutines: 4},
+		{Name: "RunnerParallel4", Parallelism: 4, NumCPU: 4,
+			NsPerOp: 3049154481, CacheHitRate: 0.96, Goroutines: 23},
+	}
+	var buf bytes.Buffer
+	if err := writeBenchJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []benchEntry
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decoding written JSON: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed entry count: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("entry %d changed in round trip:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+	// The serialized ns_per_op must be a bare integer. A fractional value
+	// like 8000708920.999999 is exactly the regression this test pins out.
+	nsRe := regexp.MustCompile(`"ns_per_op":\s*(\S+?),?\n`)
+	matches := nsRe.FindAllStringSubmatch(buf.String(), -1)
+	if len(matches) != len(in) {
+		t.Fatalf("found %d ns_per_op fields, want %d", len(matches), len(in))
+	}
+	intRe := regexp.MustCompile(`^\d+$`)
+	for _, m := range matches {
+		if !intRe.MatchString(m[1]) {
+			t.Errorf("ns_per_op serialized as %q, want integer nanoseconds", m[1])
+		}
+	}
+}
+
+// TestRunnerScalingFloor is the scaling gate `make check` enforces: the
+// full suite at parallelism 4 must be at least 2.5× faster than at 1.
+// It only runs when HOMESIGHT_BENCH_SCALING is set (wall-clock asserts
+// don't belong in the default test run) and when the host actually has
+// 4 CPUs to scale onto — on smaller hosts a parallel speedup is
+// physically impossible to measure and the gate skips with a reason,
+// rather than pinning a number the hardware cannot produce.
+func TestRunnerScalingFloor(t *testing.T) {
+	if os.Getenv("HOMESIGHT_BENCH_SCALING") == "" {
+		t.Skip("set HOMESIGHT_BENCH_SCALING=1 to run the scaling gate (make bench-scaling)")
+	}
+	if ncpu := runtime.NumCPU(); ncpu < 4 {
+		t.Skipf("host has %d CPUs; the p=4 speedup floor needs at least 4", ncpu)
+	}
+	const floor = 2.5
+	_, seq := runSuite(t, 1)
+	_, par := runSuite(t, 4)
+	speedup := seq.WallSeconds / par.WallSeconds
+	t.Logf("p=1 %.2fs, p=4 %.2fs, speedup %.2fx (floor %.1fx)",
+		seq.WallSeconds, par.WallSeconds, speedup, floor)
+	if speedup < floor {
+		t.Fatalf("p=4 speedup %.2fx is below the %.1fx floor (p=1 %.2fs, p=4 %.2fs)",
+			speedup, floor, seq.WallSeconds, par.WallSeconds)
 	}
 }
 
