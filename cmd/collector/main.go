@@ -21,16 +21,27 @@
 // survives process crashes. Inspect it with cmd/homestore; the fsync
 // policy is selected by -fsync (interval, always, never). See
 // STORAGE.md.
+//
+// -shards N runs the fleet ingest tier instead of the single-process
+// collector: N batch-frame shard listeners, each owning a homestore
+// partition under <data-dir>/shard-NNNN/ (requires -data-dir). With
+// -demo the synthetic campaign is routed through an in-process
+// consistent-hash router; without it the shards serve until
+// interrupted. -router name=addr,... replays the demo campaign against
+// an already-running fleet's shard listeners instead. See FLEET.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
+	"homesight/internal/fleet"
 	"homesight/internal/gateway"
 	"homesight/internal/obs"
 	"homesight/internal/obs/slogx"
@@ -70,6 +81,10 @@ func main() {
 		"persist ingested reports to this homestore directory (empty = in-memory only)")
 	fsync := flag.String("fsync", "interval",
 		"homestore WAL fsync policy: interval, always, never")
+	shards := flag.Int("shards", 0,
+		"run the sharded fleet ingest tier with this many shards (requires -data-dir)")
+	routerTo := flag.String("router", "",
+		"demo: route the campaign to an external fleet, comma-separated name=addr pairs")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -95,6 +110,15 @@ func main() {
 		}
 		defer func() { _ = srv.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at exit
 		logger.Info("debug server listening", "addr", srv.Addr())
+	}
+
+	if *routerTo != "" {
+		routerDemo(logger, dep, *routerTo)
+		return
+	}
+	if *shards > 0 {
+		runFleet(logger, reg, dep, *shards, *addr, *dataDir, *fsync, *demo)
+		return
 	}
 
 	// The ingest store takes a single callback, so persistence composes
@@ -246,6 +270,153 @@ func writeMetrics(path string, stats telemetry.IngestStats) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runFleet runs the sharded ingest tier: n batch-frame shards over
+// partitions under dataDir. In demo mode the synthetic campaign is
+// routed through an in-process consistent-hash router and the run's
+// accounting printed; otherwise the shards serve until interrupted.
+func runFleet(logger *slogx.Logger, reg *obs.Registry, dep *synth.Deployment, n int, addr, dataDir, fsyncPolicy string, demo bool) {
+	if dataDir == "" {
+		logger.Fatal("bad flag", "flag", "shards", "err", fmt.Errorf("-shards requires -data-dir"))
+	}
+	policy, err := parseSyncPolicy(fsyncPolicy)
+	if err != nil {
+		logger.Fatal("bad flag", "flag", "fsync", "err", err)
+	}
+	cfg := dep.Config()
+	metrics := fleet.NewFleetMetrics(reg)
+	f, err := fleet.Start(fleet.Config{
+		Dir: dataDir, Shards: n, Addr: addr,
+		Start: cfg.Start, Step: time.Minute, Sync: policy, Metrics: metrics,
+	})
+	if err != nil {
+		logger.Fatal("fleet start failed", "dir", dataDir, "err", err)
+	}
+	for _, sa := range f.Addrs() {
+		logger.Info("shard listening", "shard", sa.Name, "addr", sa.Addr)
+	}
+
+	if !demo {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		logger.Info("shutting down fleet", "shards", n)
+		printShardStats(f, n)
+		if err := f.Close(); err != nil {
+			logger.Error("fleet close failed", "err", err)
+		}
+		return
+	}
+
+	if err := fleetCampaign(logger, dep, f.Addrs(), metrics, f.ReplayFunc()); err != nil {
+		logger.Fatal("fleet campaign failed", "err", err)
+	}
+	if err := f.Drain(); err != nil {
+		logger.Fatal("fleet drain failed", "err", err)
+	}
+	printShardStats(f, n)
+}
+
+func printShardStats(f *fleet.Fleet, n int) {
+	for i := 0; i < n; i++ {
+		s := f.Shard(i)
+		st := s.Stats()
+		fmt.Printf("  %s  reports=%d frames=%d conns=%d append_errors=%d\n",
+			s.Name(), st.ReportsAppended, st.FramesDecoded, st.ConnsOpened, st.AppendErrors)
+	}
+}
+
+// routerDemo replays the synthetic campaign against an already-running
+// fleet named by comma-separated name=addr pairs.
+func routerDemo(logger *slogx.Logger, dep *synth.Deployment, spec string) {
+	addrs, err := parseShardAddrs(spec)
+	if err != nil {
+		logger.Fatal("bad flag", "flag", "router", "err", err)
+	}
+	if err := fleetCampaign(logger, dep, addrs, nil, nil); err != nil {
+		logger.Fatal("fleet campaign failed", "err", err)
+	}
+}
+
+// parseShardAddrs parses the -router vocabulary: "shard-0000=host:port,
+// shard-0001=host:port". Ring identity is the name, not the address, so
+// the pairs must match the names the shards were started with.
+func parseShardAddrs(spec string) ([]fleet.ShardAddr, error) {
+	var out []fleet.ShardAddr
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad shard spec %q (want name=addr)", part)
+		}
+		out = append(out, fleet.ShardAddr{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shards in %q", spec)
+	}
+	return out, nil
+}
+
+// fleetCampaign streams the deployment's full campaign minute-major
+// through a router over the given shards and prints the aggregate
+// delivery accounting.
+func fleetCampaign(logger *slogx.Logger, dep *synth.Deployment, addrs []fleet.ShardAddr, metrics *fleet.FleetMetrics, replay fleet.ReplayFunc) error {
+	cfg := dep.Config()
+	r, err := fleet.NewRouter(fleet.RouterConfig{Shards: addrs, Metrics: metrics, Replay: replay})
+	if err != nil {
+		return err
+	}
+	emits := make([]func(int) gateway.Report, dep.NumHomes())
+	for i := range emits {
+		h := dep.Home(i)
+		traffic := h.Traffic()
+		em := gateway.NewEmitter(h.ID)
+		emits[i] = func(m int) gateway.Report {
+			var dms []gateway.DeviceMinute
+			for _, dt := range traffic {
+				dms = append(dms, gateway.DeviceMinute{
+					MAC:      dt.Spec.Device.MAC,
+					Name:     dt.Spec.Device.Name,
+					InBytes:  dt.In.Values[m],
+					OutBytes: dt.Out.Values[m],
+				})
+			}
+			return em.Emit(cfg.Start.Add(time.Duration(m)*time.Minute), dms)
+		}
+	}
+	ctx := context.Background()
+	start := time.Now()
+	sent := 0
+	for m := 0; m < cfg.Minutes(); m++ {
+		for i := range emits {
+			rep := emits[i](m)
+			if len(rep.Devices) == 0 {
+				continue
+			}
+			if err := r.Send(ctx, rep); err != nil {
+				return fmt.Errorf("minute %d gateway %s: %w", m, rep.GatewayID, err)
+			}
+			sent++
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		return err
+	}
+	stats := r.Stats()
+	elapsed := time.Since(start)
+	if err := r.Close(); err != nil {
+		return err
+	}
+	logger.Info("fleet campaign complete", "shards", len(addrs), "live", len(r.Live()))
+	fmt.Printf("fleet: routed %d reports in %s (%.0f reports/s) across %d shards\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), len(addrs))
+	fmt.Printf("router: %d batches flushed, %d rebalances, %d replayed, %d reassigned\n",
+		stats.BatchesFlushed, stats.Rebalances, stats.ReplayedReports, stats.ReassignedReports)
+	return nil
 }
 
 // replayHome streams one home's full campaign through a TCP reporter.

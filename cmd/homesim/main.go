@@ -4,21 +4,36 @@
 // Usage:
 //
 //	homesim -out data/ [-homes 196] [-weeks 8] [-seed 20140317] [-survey]
+//	homesim -fleet 4 [-fleet-kill] -out data/ [-homes 32] [-weeks 1]
 //
 // Each gateway becomes <out>/<id>.csv in the dataset package's schema; the
 // manifest (<out>/deployment.json) records the configuration and per-home
 // ground truth (archetype, residents, reliability) for evaluation.
+//
+// -fleet N runs the sharded-ingest load campaign instead: the
+// deployment streams through a consistent-hash router into N in-process
+// shards whose partitions land under <out>/fleet/shard-NNNN/, and the
+// aggregate throughput and delivery accounting are printed. -fleet-kill
+// crash-stops one shard mid-campaign to demonstrate the rebalance +
+// catch-up-replay protocol (see FLEET.md); the accounting printed at
+// the end must still reconcile exactly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"homesight/internal/dataset"
+	"homesight/internal/fleet"
+	"homesight/internal/gateway"
+	"homesight/internal/obs"
 	"homesight/internal/obs/slogx"
+	"homesight/internal/store"
 	"homesight/internal/synth"
 )
 
@@ -45,6 +60,8 @@ func main() {
 	weeks := flag.Int("weeks", 0, "campaign length in weeks (default 8)")
 	seed := flag.Int64("seed", 0, "master seed (default 20140317)")
 	survey := flag.Bool("survey", false, "include resident counts for the survey subset")
+	fleetN := flag.Int("fleet", 0, "run the sharded-ingest load campaign with this many shards instead of writing CSVs")
+	fleetKill := flag.Bool("fleet-kill", false, "fleet campaign: crash-stop one shard mid-load to exercise rebalance + replay")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -54,6 +71,13 @@ func main() {
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		logger.Fatal("mkdir failed", "dir", *out, "err", err)
+	}
+
+	if *fleetN > 0 {
+		if err := runFleetCampaign(dep, *fleetN, filepath.Join(*out, "fleet"), *fleetKill); err != nil {
+			logger.Fatal("fleet campaign failed", "err", err)
+		}
+		return
 	}
 
 	man := manifest{Config: cfg}
@@ -93,6 +117,112 @@ func main() {
 	if !*quiet {
 		fmt.Printf("wrote %d gateways and %s\n", dep.NumHomes(), manPath)
 	}
+}
+
+// runFleetCampaign streams the deployment minute-major through a
+// router into n in-process shards under dir. With kill set, the shard
+// owning the first gateway is crash-stopped 40% through the campaign;
+// the router's rebalance + catch-up replay must absorb the loss, and
+// the printed accounting reconciles Sends, replays and reassignments
+// exactly (the TestFaultShardKill identity).
+func runFleetCampaign(dep *synth.Deployment, n int, dir string, kill bool) error {
+	cfg := dep.Config()
+	metrics := fleet.NewFleetMetrics(obs.NewRegistry())
+	f, err := fleet.Start(fleet.Config{
+		Dir: dir, Shards: n,
+		Start: cfg.Start, Step: time.Minute,
+		Sync: store.SyncAlways, // acked ⇒ durable, the kill drill's premise
+		Metrics: metrics,
+	})
+	if err != nil {
+		return err
+	}
+	r, err := fleet.NewRouter(fleet.RouterConfig{
+		Shards: f.Addrs(), Metrics: metrics, Replay: f.ReplayFunc(),
+	})
+	if err != nil {
+		return err
+	}
+	victim := -1
+	killAt := -1
+	if kill {
+		victimName := r.ShardFor(dep.Home(0).ID)
+		if _, err := fmt.Sscanf(victimName, "shard-%d", &victim); err != nil {
+			return fmt.Errorf("bad shard name %q", victimName)
+		}
+		killAt = cfg.Minutes() * 2 / 5
+	}
+	// One emitter per home, held across the whole campaign: Emit turns
+	// per-minute traffic into the gateway's cumulative counters, so the
+	// emitter's state must span minutes.
+	emits := make([]func(int) gateway.Report, dep.NumHomes())
+	for i := range emits {
+		h := dep.Home(i)
+		traffic := h.Traffic()
+		em := gateway.NewEmitter(h.ID)
+		emits[i] = func(m int) gateway.Report {
+			var dms []gateway.DeviceMinute
+			for _, dt := range traffic {
+				dms = append(dms, gateway.DeviceMinute{
+					MAC:      dt.Spec.Device.MAC,
+					Name:     dt.Spec.Device.Name,
+					InBytes:  dt.In.Values[m],
+					OutBytes: dt.Out.Values[m],
+				})
+			}
+			return em.Emit(cfg.Start.Add(time.Duration(m)*time.Minute), dms)
+		}
+	}
+	ctx := context.Background()
+	start := time.Now()
+	sent := 0
+	for m := 0; m < cfg.Minutes(); m++ {
+		if m == killAt {
+			fmt.Printf("fleet: killing shard-%04d at minute %d of %d\n", victim, m, cfg.Minutes())
+			f.Kill(victim)
+		}
+		for i := range emits {
+			rep := emits[i](m)
+			if len(rep.Devices) == 0 {
+				continue
+			}
+			if err := r.Send(ctx, rep); err != nil {
+				return fmt.Errorf("minute %d gateway %s: %w", m, rep.GatewayID, err)
+			}
+			sent++
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		return err
+	}
+	stats := r.Stats()
+	elapsed := time.Since(start)
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if err := f.Drain(); err != nil {
+		return err
+	}
+	fmt.Printf("fleet: routed %d reports in %s (%.0f reports/s) across %d shards (%d live)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), n, len(r.Live()))
+	fmt.Printf("router: %d batches flushed, %d rebalances, %d replayed, %d reassigned\n",
+		stats.BatchesFlushed, stats.Rebalances, stats.ReplayedReports, stats.ReassignedReports)
+	for i := 0; i < n; i++ {
+		s := f.Shard(i)
+		st := s.Stats()
+		ss := s.StoreStats()
+		fmt.Printf("  %s  reports=%d points=%d dups=%d frames=%d conns=%d\n",
+			s.Name(), st.ReportsAppended, ss.Points, ss.DupPoints, st.FramesDecoded, st.ConnsOpened)
+	}
+	// The routing identity: every report entered the ring exactly once
+	// per routing decision, or the accounting is broken.
+	if want := int64(sent) + stats.ReplayedReports + stats.ReassignedReports; stats.ReportsRouted != want {
+		return fmt.Errorf("accounting mismatch: %d routed != %d sent + %d replayed + %d reassigned",
+			stats.ReportsRouted, sent, stats.ReplayedReports, stats.ReassignedReports)
+	}
+	fmt.Printf("accounting: %d routed = %d sent + %d replayed + %d reassigned ✓\n",
+		stats.ReportsRouted, sent, stats.ReplayedReports, stats.ReassignedReports)
+	return nil
 }
 
 func writeGateway(path string, g *dataset.Gateway) error {

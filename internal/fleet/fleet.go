@@ -1,0 +1,164 @@
+// Package fleet is the sharded ingest tier: a consistent-hash router
+// (keyed by gateway ID) in front of N collector shards, each owning its
+// own homestore partition under <root>/shard-NNNN/. Reports travel as
+// CRC'd batch frames (internal/telemetry's batch protocol) with the
+// line reporter's backoff and resend-tail discipline; on shard loss the
+// router shrinks the ring, replays the dead partition's durable history
+// to the surviving shards, then re-routes the in-flight tail — the
+// replay-first ordering plus the store's per-series WAL watermarks make
+// the handoff idempotent, so the fleet loses no acknowledged report.
+//
+// FLEET.md documents the architecture, the frame format, the rebalance
+// protocol and a worked 4-shard campaign.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/obs"
+	"homesight/internal/store"
+	"homesight/internal/telemetry"
+)
+
+// Config configures an in-process Fleet: N shards under one root
+// directory, the deployment shape cmd/collector -shards runs.
+type Config struct {
+	// Dir is the fleet root; shard i's partition lives at
+	// Dir/shard-NNNN/.
+	Dir string
+	// Shards is the shard count (≥ 1).
+	Shards int
+	// Addr is the listen address template, one ephemeral port per shard
+	// ("" → "127.0.0.1:0").
+	Addr string
+	// Start, Step and Sync pass through to every shard's store.Config.
+	Start time.Time
+	Step  time.Duration
+	Sync  store.SyncPolicy
+	// Metrics receives the fleet instruments, shared by every shard.
+	// nil → a private registry.
+	Metrics *FleetMetrics
+	// Now is the clock handed to every shard; nil → time.Now.
+	Now func() time.Time
+}
+
+// Fleet is a set of in-process shards sharing one root directory — the
+// serving side of the tier. Pair it with a Router over Addrs() for the
+// full pipeline; Fleet.ReplayFunc wires the router's catch-up replay to
+// the on-disk partitions.
+type Fleet struct {
+	cfg    Config
+	shards []*Shard
+}
+
+// Start opens every partition and starts every shard listener.
+func Start(cfg Config) (*Fleet, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: Config.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("fleet: Config.Dir is required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewFleetMetrics(obs.NewRegistry())
+	}
+	f := &Fleet{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := StartShard(ShardConfig{
+			Name:    ShardName(i),
+			Addr:    cfg.Addr,
+			Dir:     PartitionDir(cfg.Dir, i),
+			Start:   cfg.Start,
+			Step:    cfg.Step,
+			Sync:    cfg.Sync,
+			Metrics: cfg.Metrics,
+			Now:     cfg.Now,
+		})
+		if err != nil {
+			f.closeAll()
+			return nil, fmt.Errorf("fleet: starting %s: %w", ShardName(i), err)
+		}
+		f.shards = append(f.shards, s)
+	}
+	return f, nil
+}
+
+// Addrs returns every shard's ring identity and live listen address —
+// the RouterConfig.Shards value for a router over this fleet.
+func (f *Fleet) Addrs() []ShardAddr {
+	out := make([]ShardAddr, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = ShardAddr{Name: s.Name(), Addr: s.Addr()}
+	}
+	return out
+}
+
+// Shard returns shard i.
+func (f *Fleet) Shard(i int) *Shard { return f.shards[i] }
+
+// Kill crash-stops shard i (see Shard.Kill): its partition stays on
+// disk for the router's catch-up replay.
+func (f *Fleet) Kill(i int) { f.shards[i].Kill() }
+
+// ReplayFunc returns the standard catch-up replay implementation for a
+// router over this fleet: it reopens the named dead partition, streams
+// its recovered history through send, and — only after a fully
+// successful replay — retires the partition so the live read set stays
+// disjoint by gateway.
+func (f *Fleet) ReplayFunc() ReplayFunc {
+	return func(shard string, send func(gateway.Report) error) error {
+		dir := ""
+		for _, s := range f.shards {
+			if s.Name() == shard {
+				dir = s.Dir()
+				break
+			}
+		}
+		if dir == "" {
+			return fmt.Errorf("fleet: replay of unknown shard %q", shard)
+		}
+		if _, err := ReplayPartition(dir, send); err != nil {
+			return err
+		}
+		return RetirePartition(dir)
+	}
+}
+
+// Drain gracefully stops every still-running shard: each finishes
+// reading its connected streams to EOF before its partition closes, so
+// every frame a router flushed before closing is appended. Call it
+// after the routers have closed; killed shards are skipped (their
+// ErrClosed is expected, not an error).
+func (f *Fleet) Drain() error {
+	var err error
+	for _, s := range f.shards {
+		if cerr := s.Drain(); cerr != nil && cerr != telemetry.ErrClosed && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close force-closes every still-running shard: live connections drop
+// and frames in flight on them are lost. Prefer Drain when trailing
+// delivery matters; killed shards are skipped.
+func (f *Fleet) Close() error {
+	var err error
+	for _, s := range f.shards {
+		if cerr := s.Close(); cerr != nil && cerr != telemetry.ErrClosed && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (f *Fleet) closeAll() {
+	for _, s := range f.shards {
+		_ = s.Close() //homesight:ignore unchecked-close — constructor failure path; partial fleet torn down best-effort
+	}
+}

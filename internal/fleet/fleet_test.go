@@ -1,0 +1,366 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/obs"
+	"homesight/internal/store"
+	"homesight/internal/telemetry"
+	"homesight/internal/telemetry/faultnet"
+)
+
+// anchor is the fleet test campaign's minute grid origin (a Monday).
+var anchor = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+
+// buildCampaign emits minutes×len(gateways) reports, minute-major (the
+// arrival interleave of a real fleet: every home reports each minute).
+// Two devices per home with distinct traffic shapes so series equality
+// is a meaningful check, cumulative counters via the real emitter.
+func buildCampaign(gateways []string, minutes int) []gateway.Report {
+	ems := make([]*gateway.Emitter, len(gateways))
+	for i, gw := range gateways {
+		ems[i] = gateway.NewEmitter(gw)
+	}
+	reps := make([]gateway.Report, 0, minutes*len(gateways))
+	for m := 0; m < minutes; m++ {
+		ts := anchor.Add(time.Duration(m) * time.Minute)
+		for i := range gateways {
+			traffic := float64(100 + 13*i + m%60)
+			if h := m / 60 % 24; h >= 19 && h < 23 {
+				traffic *= 1000 // evening activity
+			}
+			reps = append(reps, ems[i].Emit(ts, []gateway.DeviceMinute{
+				{MAC: "m1", Name: "laptop", InBytes: traffic, OutBytes: traffic / 10},
+				{MAC: "m2", Name: "phone", InBytes: traffic / 3, OutBytes: traffic / 30},
+			}))
+		}
+	}
+	return reps
+}
+
+// expectedPoints indexes a campaign's cumulative counter values:
+// key → ascending (ts, value) points, exactly what the partitions
+// should hold after ingest.
+func expectedPoints(reps []gateway.Report) map[store.Key][]store.Point {
+	exp := make(map[store.Key][]store.Point)
+	for _, rep := range reps {
+		ts := rep.Timestamp.Unix()
+		for _, dc := range rep.Devices {
+			for dir, val := range [2]uint64{dc.RxBytes, dc.TxBytes} {
+				k := store.Key{Gateway: rep.GatewayID, Device: dc.MAC, Dir: store.Direction(dir)}
+				exp[k] = append(exp[k], store.Point{Ts: ts, Val: val})
+			}
+		}
+	}
+	return exp
+}
+
+// mergePartitions opens every live partition under root and returns
+// each stored series plus which partition holds each gateway (asserting
+// no gateway is split across live partitions).
+func mergePartitions(t *testing.T, root string) (map[store.Key][]store.Point, map[string]string) {
+	t.Helper()
+	dirs, err := LivePartitions(root)
+	if err != nil {
+		t.Fatalf("LivePartitions: %v", err)
+	}
+	got := make(map[store.Key][]store.Point)
+	owner := make(map[string]string)
+	ctx := context.Background()
+	for _, dir := range dirs {
+		st, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("reopening partition %s: %v", dir, err)
+		}
+		for _, gw := range st.Gateways() {
+			if prev, split := owner[gw]; split {
+				t.Errorf("gateway %s lives in both %s and %s", gw, prev, dir)
+			}
+			owner[gw] = dir
+			for _, mac := range st.Devices(gw) {
+				for _, dir2 := range []store.Direction{store.DirIn, store.DirOut} {
+					k := store.Key{Gateway: gw, Device: mac, Dir: dir2}
+					res, err := st.Query(ctx, store.QueryRequest{Key: k})
+					if err != nil {
+						t.Fatalf("query %v: %v", k, err)
+					}
+					got[k] = append(got[k], res.Points...)
+				}
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("closing partition %s: %v", dir, err)
+		}
+	}
+	return got, owner
+}
+
+func assertSeriesEqual(t *testing.T, got, want map[store.Key][]store.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("partitions hold %d series, want %d", len(got), len(want))
+	}
+	for k, wpts := range want {
+		gpts := got[k]
+		if len(gpts) != len(wpts) {
+			t.Errorf("%v: %d points stored, want %d", k, len(gpts), len(wpts))
+			continue
+		}
+		for i := range wpts {
+			if gpts[i] != wpts[i] {
+				t.Errorf("%v point %d: got %+v, want %+v", k, i, gpts[i], wpts[i])
+				break
+			}
+		}
+	}
+}
+
+// TestFleetEndToEnd proves the fault-free pipeline: router → batch
+// frames → shards → partitions reproduces every emitted point exactly,
+// with each gateway confined to the shard the ring names.
+func TestFleetEndToEnd(t *testing.T) {
+	root := t.TempDir()
+	f, err := Start(Config{Dir: root, Shards: 2, Start: anchor, Step: time.Minute})
+	if err != nil {
+		t.Fatalf("fleet.Start: %v", err)
+	}
+	r, err := NewRouter(RouterConfig{Shards: f.Addrs(), BatchSize: 16})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	gateways := []string{"home-000", "home-001", "home-002", "home-003"}
+	reps := buildCampaign(gateways, 240)
+	ctx := context.Background()
+	for _, rep := range reps {
+		if err := r.Send(ctx, rep); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rs := r.Stats()
+	if rs.ReportsRouted != int64(len(reps)) {
+		t.Errorf("ReportsRouted = %d, want %d", rs.ReportsRouted, len(reps))
+	}
+	if rs.Rebalances != 0 || rs.ReplayedReports != 0 || rs.ReassignedReports != 0 {
+		t.Errorf("fault-free run recorded rebalance work: %+v", rs)
+	}
+	placement := make(map[string]string)
+	for _, gw := range gateways {
+		placement[gw] = r.ShardFor(gw)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("router Close: %v", err)
+	}
+	if err := f.Drain(); err != nil {
+		t.Fatalf("fleet Drain: %v", err)
+	}
+	var appended int64
+	for i := 0; i < 2; i++ {
+		appended += f.Shard(i).Stats().ReportsAppended
+		if errs := f.Shard(i).Stats().AppendErrors; errs != 0 {
+			t.Errorf("shard %d AppendErrors = %d, want 0", i, errs)
+		}
+	}
+	if appended != int64(len(reps)) {
+		t.Errorf("shards appended %d reports, want %d", appended, len(reps))
+	}
+	got, owner := mergePartitions(t, root)
+	assertSeriesEqual(t, got, expectedPoints(reps))
+	for gw, dir := range owner {
+		if want := PartitionDir(root, shardIndex(t, placement[gw])); dir != want {
+			t.Errorf("gateway %s stored in %s, ring says %s", gw, dir, want)
+		}
+	}
+}
+
+func shardIndex(t *testing.T, name string) int {
+	t.Helper()
+	var i int
+	if _, err := fmt.Sscanf(name, "shard-%d", &i); err != nil {
+		t.Fatalf("bad shard name %q", name)
+	}
+	return i
+}
+
+// TestFaultShardKill is the fleet's acceptance campaign, per the
+// TestFault* discipline: kill a shard mid-load (with faultnet faults on
+// the surviving transports), and prove zero acknowledged-report loss
+// with exact accounting. SyncAlways makes Append's return the
+// acknowledgement — everything acknowledged is durable, so catch-up
+// replay plus watermark dedup must reproduce every emitted point
+// exactly once across the surviving partitions.
+func TestFaultShardKill(t *testing.T) {
+	root := t.TempDir()
+	metrics := NewFleetMetrics(obs.NewRegistry())
+	f, err := Start(Config{
+		Dir: root, Shards: 3, Start: anchor, Step: time.Minute,
+		Sync: store.SyncAlways, Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatalf("fleet.Start: %v", err)
+	}
+	// Faultnet on the router's transports: each shard's first
+	// connection fails its 7th write cleanly, so reconnect +
+	// resend-tail runs on the survivors too, not just on the killed
+	// shard. (Only the first connection is faulted: the plan re-arms
+	// per connection, and faulting every reconnect forever would starve
+	// the retry budget and fake a healthy shard's death.)
+	faulted := make(map[string]bool)
+	var faultedMu sync.Mutex
+	r, err := NewRouter(RouterConfig{
+		Shards:    f.Addrs(),
+		BatchSize: 32,
+		Replay:    f.ReplayFunc(),
+		Metrics:   metrics,
+		Reporter: telemetry.ReporterConfig{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			ResendTail:  8,
+		},
+		DialShard: func(addr string) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			faultedMu.Lock()
+			first := !faulted[addr]
+			faulted[addr] = true
+			faultedMu.Unlock()
+			if first {
+				return faultnet.Wrap(conn, faultnet.Faults{FailWrites: []int{7}}), nil
+			}
+			return conn, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	gateways := make([]string, 8)
+	for i := range gateways {
+		gateways[i] = fmt.Sprintf("home-%03d", i)
+	}
+	reps := buildCampaign(gateways, 360)
+	victim := r.ShardFor(gateways[0]) // guaranteed to own ≥ 1 gateway
+	victimIdx := shardIndex(t, victim)
+
+	ctx := context.Background()
+	killAt := len(reps) * 2 / 5
+	for i, rep := range reps {
+		if i == killAt {
+			f.Kill(victimIdx)
+		}
+		if err := r.Send(ctx, rep); err != nil {
+			t.Fatalf("Send report %d: %v", i, err)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rs := r.Stats()
+	if err := r.Close(); err != nil {
+		t.Fatalf("router Close: %v", err)
+	}
+	if err := f.Drain(); err != nil {
+		t.Fatalf("fleet Drain: %v", err)
+	}
+
+	// The rebalance happened, exactly once, and was absorbed silently.
+	if rs.Rebalances != 1 {
+		t.Fatalf("Rebalances = %d, want 1 (stats: %+v)", rs.Rebalances, rs)
+	}
+	if rs.ReplayedReports == 0 {
+		t.Error("no reports replayed from the dead partition")
+	}
+	if metrics.Rebalances.Value() != 1 {
+		t.Errorf("homesight_fleet_rebalances_total = %d, want 1", metrics.Rebalances.Value())
+	}
+	if metrics.ReplayedReports.Value() != rs.ReplayedReports {
+		t.Errorf("replayed metric %d != stats %d", metrics.ReplayedReports.Value(), rs.ReplayedReports)
+	}
+
+	// Exact routing accounting: every report entered the ring once per
+	// routing decision.
+	if want := int64(len(reps)) + rs.ReplayedReports + rs.ReassignedReports; rs.ReportsRouted != want {
+		t.Errorf("ReportsRouted = %d, want %d (= %d sent + %d replayed + %d reassigned)",
+			rs.ReportsRouted, want, len(reps), rs.ReplayedReports, rs.ReassignedReports)
+	}
+
+	// The dead partition retired; exactly 2 of 3 partitions stay live.
+	if _, err := os.Stat(PartitionDir(root, victimIdx) + ".retired"); err != nil {
+		t.Errorf("dead partition not retired: %v", err)
+	}
+	dirs, err := LivePartitions(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("%d live partitions, want 2: %v", len(dirs), dirs)
+	}
+
+	// Zero acknowledged-report loss, exactly once: the surviving
+	// partitions together hold every emitted point, each exactly once,
+	// and no gateway is split.
+	got, owner := mergePartitions(t, root)
+	assertSeriesEqual(t, got, expectedPoints(reps))
+	if len(owner) != len(gateways) {
+		t.Errorf("%d gateways stored, want %d", len(owner), len(gateways))
+	}
+}
+
+// TestRouterLastShardLoss pins the terminal error: when the final
+// shard dies there is nowhere to rebalance to, and Send must say so
+// rather than buffer silently.
+func TestRouterLastShardLoss(t *testing.T) {
+	root := t.TempDir()
+	f, err := Start(Config{Dir: root, Shards: 1, Start: anchor, Step: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewRouter(RouterConfig{
+		Shards:    f.Addrs(),
+		BatchSize: 4,
+		Reporter: telemetry.ReporterConfig{
+			BaseBackoff:  time.Millisecond,
+			MaxBackoff:   2 * time.Millisecond,
+			DialAttempts: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx := context.Background()
+	reps := buildCampaign([]string{"home-000"}, 64)
+	if err := r.Send(ctx, reps[0]); err != nil {
+		t.Fatalf("Send before kill: %v", err)
+	}
+	f.Kill(0)
+	var sendErr error
+	for _, rep := range reps[1:] {
+		if sendErr = r.Send(ctx, rep); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		sendErr = r.Flush(ctx)
+	}
+	if sendErr == nil {
+		t.Fatal("no error after losing the last shard")
+	}
+	if got := r.Stats().Rebalances; got != 1 {
+		t.Errorf("Rebalances = %d, want 1", got)
+	}
+	if live := r.Live(); len(live) != 0 {
+		t.Errorf("Live() = %v, want empty", live)
+	}
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPlacementGoldens pins exact placements on a 4-shard default
+// ring. These are load-bearing constants, not arbitrary expectations:
+// every router in a fleet — across processes, hosts and releases —
+// must agree where a gateway lives, so a diff here means an
+// incompatible ring and a full-fleet re-shuffle.
+func TestRingPlacementGoldens(t *testing.T) {
+	r := NewRing(0, "shard-0000", "shard-0001", "shard-0002", "shard-0003")
+	golden := map[string]string{
+		"home-000": "shard-0001",
+		"home-001": "shard-0002",
+		"home-002": "shard-0003",
+		"home-003": "shard-0002",
+		"home-004": "shard-0003",
+		"home-005": "shard-0001",
+		"home-006": "shard-0000",
+		"home-007": "shard-0002",
+		"home-008": "shard-0000",
+		"home-009": "shard-0003",
+		"home-010": "shard-0001",
+		"home-011": "shard-0000",
+	}
+	for gw, want := range golden {
+		if got := r.Lookup(gw); got != want {
+			t.Errorf("Lookup(%q) = %q, want %q", gw, got, want)
+		}
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	// Same membership, different construction order → identical ring.
+	a := NewRing(0, "s-a", "s-b", "s-c")
+	b := NewRing(0, "s-c", "s-a", "s-b")
+	for i := 0; i < 500; i++ {
+		gw := fmt.Sprintf("gw-%04d", i)
+		if a.Lookup(gw) != b.Lookup(gw) {
+			t.Fatalf("construction order changed placement of %q: %q vs %q", gw, a.Lookup(gw), b.Lookup(gw))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0, "shard-0000", "shard-0001", "shard-0002", "shard-0003")
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("home-%03d", i))]++
+	}
+	for shard, n := range counts {
+		// With 64 vnodes the observed spread is ~±25% of keys/shards;
+		// a 2x band catches a broken hash (pre-finalizer FNV put 55%
+		// of sequential keys on one shard) without being flaky — the
+		// inputs are fixed, so this is deterministic anyway.
+		if n < keys/4/2 || n > keys/4*2 {
+			t.Errorf("shard %s owns %d of %d keys; want within [%d, %d]", shard, n, keys, keys/8, keys/2)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d shards own keys, want 4", len(counts))
+	}
+}
+
+// TestRingMinimalMovementAdd pins the consistent-hashing contract on
+// grow: adding a shard moves keys only TO the new shard, and not many
+// more than the fair share K/N.
+func TestRingMinimalMovementAdd(t *testing.T) {
+	const keys = 2000
+	before := NewRing(0, "shard-0000", "shard-0001", "shard-0002", "shard-0003")
+	placed := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		gw := fmt.Sprintf("home-%04d", i)
+		placed[gw] = before.Lookup(gw)
+	}
+	after := NewRing(0, "shard-0000", "shard-0001", "shard-0002", "shard-0003", "shard-0004")
+	moved := 0
+	for gw, was := range placed {
+		now := after.Lookup(gw)
+		if now == was {
+			continue
+		}
+		moved++
+		if now != "shard-0004" {
+			t.Fatalf("key %q moved %s → %s; adds may only move keys to the new shard", gw, was, now)
+		}
+	}
+	// Fair share is K/N = 400; allow 1.5x for vnode variance.
+	if max := keys / 5 * 3 / 2; moved > max {
+		t.Errorf("grow moved %d of %d keys; want ≤ %d (~K/N)", moved, keys, max)
+	}
+	if moved == 0 {
+		t.Error("grow moved no keys; the new shard owns nothing")
+	}
+}
+
+// TestRingMinimalMovementRemove pins the contract on shrink — the
+// rebalance path: only the dead shard's keys move.
+func TestRingMinimalMovementRemove(t *testing.T) {
+	const keys = 2000
+	r := NewRing(0, "shard-0000", "shard-0001", "shard-0002", "shard-0003")
+	placed := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		gw := fmt.Sprintf("home-%04d", i)
+		placed[gw] = r.Lookup(gw)
+	}
+	r.Remove("shard-0002")
+	for gw, was := range placed {
+		now := r.Lookup(gw)
+		if was == "shard-0002" {
+			if now == "shard-0002" {
+				t.Fatalf("key %q still on removed shard", gw)
+			}
+			continue
+		}
+		if now != was {
+			t.Fatalf("key %q moved %s → %s; removals may only move the dead shard's keys", gw, was, now)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("anything"); got != "" {
+		t.Errorf("empty ring Lookup = %q, want \"\"", got)
+	}
+	r.Add("only")
+	for _, gw := range []string{"a", "b", "c"} {
+		if got := r.Lookup(gw); got != "only" {
+			t.Errorf("single-shard ring Lookup(%q) = %q, want \"only\"", gw, got)
+		}
+	}
+	r.Add("only") // idempotent: no duplicate vnodes
+	if n := len(r.points); n != DefaultVNodes {
+		t.Errorf("re-adding a shard grew the ring to %d points, want %d", n, DefaultVNodes)
+	}
+	r.Remove("absent") // no-op
+	r.Remove("only")
+	if got := r.Lookup("a"); got != "" {
+		t.Errorf("drained ring Lookup = %q, want \"\"", got)
+	}
+	if got := len(NewRing(0, "x", "y").Shards()); got != 2 {
+		t.Errorf("Shards() returned %d names, want 2", got)
+	}
+}

@@ -716,6 +716,23 @@ func (s *Store) Crash() {
 	}
 }
 
+// Watermarks returns a copy of every series' high-water timestamp (unix
+// seconds): the same per-series cursor the WAL replay and Append use to
+// drop duplicate points. Because recovery rebuilds these from segments
+// and WALs, two partitions holding overlapping history agree on what
+// has been durably absorbed — internal/fleet relies on this to make
+// shard handoff idempotent (replayed reports that already landed are
+// dropped by the receiver's watermark, not double-counted).
+func (s *Store) Watermarks() map[Key]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Key]int64, len(s.wm))
+	for k, ts := range s.wm {
+		out[k] = ts
+	}
+	return out
+}
+
 // Stats returns a snapshot of the store's counters and layout.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

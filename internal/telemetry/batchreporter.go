@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"homesight/internal/gateway"
+)
+
+// DefaultBatchWindow is how many written-but-unacked frames a
+// BatchReporter keeps in flight before blocking for acknowledgements.
+// The window is both the pipeline depth (throughput) and the exact
+// bound on what a shard crash can leave undelivered (correctness): on
+// reconnect or rebalance every unacked frame is replayed, so nothing
+// a caller handed to a successful Send is ever silently dropped.
+const DefaultBatchWindow = 4
+
+// BatchReporterStats is a snapshot of a batch reporter's delivery
+// accounting.
+type BatchReporterStats struct {
+	// BatchesSent counts successful frame writes, including replays.
+	BatchesSent int64 `json:"batches_sent"`
+	// ReportsSent counts the reports those frames carried.
+	ReportsSent int64 `json:"reports_sent"`
+	// AcksReceived counts shard acknowledgements; each retires the
+	// oldest unacked frame.
+	AcksReceived int64 `json:"acks_received"`
+	// Reconnects counts successful re-dials after a failure.
+	Reconnects int64 `json:"reconnects"`
+	// WriteErrors counts failed frame writes (each triggers a reconnect).
+	WriteErrors int64 `json:"write_errors"`
+	// ResentBatches counts unacked batches replayed after reconnects.
+	ResentBatches int64 `json:"resent_batches"`
+}
+
+// BatchReporter is the fleet router's per-shard client: it ships
+// batches of reports as CRC'd frames (AppendBatchFrame) over one TCP
+// connection, with the line reporter's retry envelope — exponential
+// backoff with jitter and a bounded dial-attempt budget per call. The
+// resend discipline is ack-driven: a written frame stays in the unacked
+// window until the shard acknowledges it (one BatchAck byte per
+// appended frame), the window is bounded so a slow shard backpressures
+// the sender instead of hiding frames in socket buffers, and every
+// unacked frame is replayed after a reconnect (the shard's store dedups
+// replays by watermark). It reuses ReporterConfig: PendingBuffer is
+// ignored (a failed Send leaves the batch with the caller), and
+// ResendTail is the unacked-window depth in batches, defaulting to
+// DefaultBatchWindow.
+type BatchReporter struct {
+	addr string
+	cfg  ReporterConfig
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	br      *bufio.Reader
+	window  [][]gateway.Report // written but unacked, oldest first
+	scratch []byte             // frame encode buffer, reused under mu
+	stats   BatchReporterStats
+	closed  bool
+}
+
+// DialBatch connects a batch reporter to a fleet shard address. Like
+// DialConfig, the first dial is eager and not retried so configuration
+// errors surface immediately.
+func DialBatch(addr string, cfg ReporterConfig) (*BatchReporter, error) {
+	if cfg.ResendTail <= 0 {
+		// The window must hold at least the frame in flight, so the line
+		// reporter's "negative → no tail" escape hatch does not apply.
+		cfg.ResendTail = DefaultBatchWindow
+	}
+	cfg = cfg.withDefaults(addr)
+	b := &BatchReporter{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	conn, err := cfg.Dial()
+	if err != nil {
+		return nil, err
+	}
+	b.attach(conn)
+	return b, nil
+}
+
+// attach installs conn as the live connection. Callers hold mu (or own
+// b exclusively, as in DialBatch).
+func (b *BatchReporter) attach(conn net.Conn) {
+	b.conn = conn
+	b.bw = bufio.NewWriterSize(conn, 64<<10)
+	b.br = bufio.NewReaderSize(conn, 64)
+}
+
+// Stats returns a snapshot of the reporter's delivery accounting.
+func (b *BatchReporter) Stats() BatchReporterStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Send delivers one batch of reports as a single frame, retrying over
+// reconnects within the dial-attempt budget. On success the frame has
+// been flushed to the socket and joined the unacked window — it cannot
+// be lost short of the shard dying, in which case DrainTail hands it
+// back for re-routing. On error the batch was NOT delivered and stays
+// with the caller. Empty batches are a no-op.
+func (b *BatchReporter) Send(ctx context.Context, reps []gateway.Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	//homesight:ignore lock-held — mu held across delivery by design: one in-flight frame serializes the wire protocol; concurrent Sends queue behind it
+	return b.deliver(ctx, reps)
+}
+
+// Flush blocks until every written frame has been acknowledged,
+// reconnecting (and replaying the unacked window) within the
+// dial-attempt budget. A nil return means every report ever accepted by
+// Send has been appended by the shard — the fleet router's end-of-
+// campaign barrier.
+func (b *BatchReporter) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	attempt := 0
+	for len(b.window) > 0 {
+		//homesight:ignore lock-held — mu held across the ack drain by design; Sends must not interleave with the barrier
+		if err := b.ensureConn(ctx, &attempt); err != nil {
+			return fmt.Errorf("telemetry: flush with %d unacked batches: %w", len(b.window), err)
+		}
+		if err := b.readAck(); err != nil {
+			b.teardown() //homesight:ignore lock-held — failed conn closed under mu; the barrier must not release the window mid-drain
+		}
+	}
+	return nil
+}
+
+// deliver writes one batch, waiting for window space first and
+// reconnecting with backoff on any failure. Called with mu held.
+func (b *BatchReporter) deliver(ctx context.Context, reps []gateway.Report) error {
+	attempt := 0
+	for {
+		if err := b.ensureConn(ctx, &attempt); err != nil {
+			return fmt.Errorf("telemetry: batch of %d reports undelivered: %w", len(reps), err)
+		}
+		// Window flow control: block for the oldest ack before writing
+		// past the unacked bound. This is what keeps "accepted by Send"
+		// recoverable — a slower shard backpressures us here instead of
+		// accumulating unacked frames in its socket buffer.
+		if len(b.window) >= b.cfg.ResendTail {
+			if err := b.readAck(); err != nil {
+				b.teardown()
+			}
+			continue
+		}
+		if err := b.writeBatch(reps); err != nil {
+			b.stats.WriteErrors++
+			b.teardown()
+			continue
+		}
+		b.stats.BatchesSent++
+		b.stats.ReportsSent += int64(len(reps))
+		// The batch slice is retained, not copied: callers hand over
+		// ownership on successful Send (the fleet router allocates a
+		// fresh batch per flush).
+		b.window = append(b.window, reps)
+		return nil
+	}
+}
+
+// ensureConn re-establishes the connection (replaying the unacked
+// window) within the caller's per-call dial budget. Called with mu
+// held; attempt persists across the caller's retry loop.
+func (b *BatchReporter) ensureConn(ctx context.Context, attempt *int) error {
+	for b.conn == nil {
+		if *attempt >= b.cfg.DialAttempts {
+			return fmt.Errorf("no connection to %s after %d reconnect attempts", b.addr, *attempt)
+		}
+		*attempt++
+		if err := b.sleep(ctx, b.backoff(*attempt)); err != nil {
+			return err
+		}
+		if err := b.reconnect(); err != nil {
+			continue
+		}
+	}
+	return nil
+}
+
+// writeBatch encodes one batch into the reused scratch buffer and
+// flushes the frame to the wire.
+func (b *BatchReporter) writeBatch(reps []gateway.Report) error {
+	b.scratch = AppendBatchFrame(b.scratch[:0], reps)
+	if _, err := b.bw.Write(b.scratch); err != nil {
+		return err
+	}
+	return b.bw.Flush()
+}
+
+// readAck consumes one acknowledgement and retires the oldest unacked
+// frame. A wrong byte is a protocol violation, handled like any other
+// connection failure: teardown and replay.
+func (b *BatchReporter) readAck() error {
+	var buf [1]byte
+	if _, err := io.ReadFull(b.br, buf[:]); err != nil {
+		return err
+	}
+	if buf[0] != BatchAck {
+		return fmt.Errorf("telemetry: bad ack byte %#02x from %s", buf[0], b.addr)
+	}
+	b.stats.AcksReceived++
+	b.window = b.window[1:]
+	return nil
+}
+
+// reconnect dials a fresh connection and replays the whole unacked
+// window in order: those frames flushed locally but were never
+// acknowledged, so the shard may or may not have appended them — the
+// store's watermark dedups the ones that did land. Replayed frames stay
+// in the window until their (new) acks arrive. A frame that fails to
+// write mid-replay tears the connection down again and the window is
+// retried on the next reconnect.
+func (b *BatchReporter) reconnect() error {
+	conn, err := b.cfg.Dial()
+	if err != nil {
+		return err
+	}
+	b.attach(conn)
+	b.stats.Reconnects++
+	for _, reps := range b.window {
+		if err := b.writeBatch(reps); err != nil {
+			b.stats.WriteErrors++
+			b.teardown()
+			return err
+		}
+		b.stats.BatchesSent++
+		b.stats.ResentBatches++
+		b.stats.ReportsSent += int64(len(reps))
+	}
+	return nil
+}
+
+// teardown discards the live connection (and any half-written buffer
+// with it); the in-flight frame is re-encoded whole on the next
+// connection.
+func (b *BatchReporter) teardown() {
+	if b.conn != nil {
+		_ = b.conn.Close() //homesight:ignore unchecked-close — conn is already failed; reconnect resends the window
+		b.conn = nil
+		b.bw = nil
+		b.br = nil
+	}
+}
+
+// DrainTail removes and returns every report in the unacked window,
+// oldest batch first. The fleet router calls this when it declares the
+// shard dead: unacked reports were written but never confirmed
+// appended, so they are re-routed to the surviving shards after
+// catch-up replay (which makes redelivery of the ones that DID land
+// idempotent).
+func (b *BatchReporter) DrainTail() []gateway.Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []gateway.Report
+	for _, batch := range b.window {
+		out = append(out, batch...)
+	}
+	b.window = nil
+	return out
+}
+
+// backoff returns the jittered exponential delay before reconnect
+// attempt n (n >= 1), exactly the line reporter's envelope.
+func (b *BatchReporter) backoff(attempt int) time.Duration {
+	d := b.cfg.BaseBackoff << uint(attempt-1)
+	if d <= 0 || d > b.cfg.MaxBackoff {
+		d = b.cfg.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// sleep waits for d or until ctx is done.
+func (b *BatchReporter) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close closes the connection. Close does not retry and discards the
+// unacked window; call Flush first when delivery confirmation matters
+// (the fleet router's Flush does).
+func (b *BatchReporter) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.closed = true
+	var err error
+	if b.conn != nil {
+		//homesight:ignore lock-held — final close under mu: closed=true is already set, so no Send can queue behind this
+		err = b.conn.Close()
+		b.conn = nil
+		b.bw = nil
+		b.br = nil
+	}
+	return err
+}

@@ -6,11 +6,13 @@
 # on stderr, curls /healthz and /metrics, and greps the exposition for
 # one representative series from each instrumented layer (ingest,
 # runner, cache). Then boots cmd/collector with -data-dir to verify the
-# homesight_store_* families reach the same surface, and finally
-# `homestore serve` on the collector's store to verify the query tier:
-# one /api/v1/* endpoint answering the versioned envelope and the
-# homesight_query_* families on /metrics. Wired into `make check` via
-# the obs-smoke target.
+# homesight_store_* families reach the same surface, then `homestore
+# serve` on the collector's store to verify the query tier: one
+# /api/v1/* endpoint answering the versioned envelope and the
+# homesight_query_* families on /metrics. Finally boots the collector
+# again in fleet mode (-shards 2) to verify the homesight_fleet_*
+# families register the moment the shards start. Wired into
+# `make check` via the obs-smoke target.
 #
 # Exits non-zero (and prints the captured log) on any missing endpoint
 # or metric, so a refactor that silently unregisters a family fails CI.
@@ -18,8 +20,8 @@ set -eu
 
 GO=${GO:-go}
 TMP=$(mktemp -d)
-PID= CPID= QPID=
-trap 'kill "$PID" "$CPID" "$QPID" 2>/dev/null || true; wait "$PID" "$CPID" "$QPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PID= CPID= QPID= FPID=
+trap 'kill "$PID" "$CPID" "$QPID" "$FPID" 2>/dev/null || true; wait "$PID" "$CPID" "$QPID" "$FPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 # A tiny run (-run fig5 keeps it to one experiment) held open long
 # enough to scrape; -hold is the window, generous for slow CI machines.
@@ -169,4 +171,56 @@ done
 kill "$QPID" 2>/dev/null || true
 wait "$QPID" 2>/dev/null || true
 QPID=
-echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store+query), /api/v1 and pprof all served"
+
+# Fleet tier: a collector in sharded mode registers the
+# homesight_fleet_* families (and binds each shard's labelled series)
+# as the shards start, before any report arrives.
+$GO run ./cmd/collector -shards 2 -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    -data-dir "$TMP/fleet" \
+    >"$TMP/f-stdout" 2>"$TMP/f-stderr" &
+FPID=$!
+
+FADDR=
+i=0
+while [ $i -lt 150 ]; do
+    FADDR=$(sed -n 's/.*msg="debug server listening".* addr=\([0-9.:]*\).*/\1/p' "$TMP/f-stderr" | head -n 1)
+    [ -n "$FADDR" ] && break
+    if ! kill -0 "$FPID" 2>/dev/null; then
+        echo "obs-smoke: fleet collector exited before serving" >&2
+        cat "$TMP/f-stderr" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$FADDR" ]; then
+    echo "obs-smoke: fleet collector debug server never announced an address" >&2
+    cat "$TMP/f-stderr" >&2
+    exit 1
+fi
+
+ffail() {
+    echo "obs-smoke: $1" >&2
+    cat "$TMP/f-stderr" >&2
+    exit 1
+}
+
+curl -fsS --max-time 10 "http://$FADDR/metrics" >"$TMP/f-metrics" || ffail "fleet /metrics unreachable"
+for metric in \
+    homesight_fleet_shard_reports_total \
+    homesight_fleet_shard_batches_total \
+    homesight_fleet_rebalances_total \
+    homesight_fleet_replayed_reports_total \
+    homesight_fleet_replay_lag_seconds \
+    homesight_fleet_ingest_seconds; do
+    grep -q "^# TYPE $metric " "$TMP/f-metrics" || ffail "fleet /metrics misses $metric"
+done
+# The per-shard series are bound at startup, so the shard label must
+# already be present.
+grep -q 'homesight_fleet_shard_reports_total{shard="shard-0000"}' "$TMP/f-metrics" \
+    || ffail "fleet /metrics misses the shard-0000 labelled series"
+
+kill "$FPID" 2>/dev/null || true
+wait "$FPID" 2>/dev/null || true
+FPID=
+echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store+query+fleet), /api/v1 and pprof all served"
