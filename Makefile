@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 SARIF ?= homesight-vet.sarif
 
-.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-scaling bench-store bench-query bench-fleet test-faults fuzz-smoke obs-smoke check
+.PHONY: build test race vet lint vet-fix-check vet-sarif bench bench-build bench-scaling bench-store bench-query bench-fleet bench-stream test-faults fuzz-smoke obs-smoke check
 
 build: ## compile every package
 	$(GO) build ./...
@@ -26,8 +26,8 @@ vet-sarif: ## write the machine-readable report CI uploads as an artifact
 	$(GO) run ./cmd/homesight-vet -format=sarif ./... > $(SARIF) || true
 	@grep -q '"version": "2.1.0"' $(SARIF) && echo "vet-sarif: wrote $(SARIF)"
 
-test-faults: ## deterministic fault-injection suite for the collection pipeline and fleet tier, under -race
-	$(GO) test -race -run 'TestFault' -count=1 ./internal/telemetry/... ./internal/fleet/...
+test-faults: ## deterministic fault-injection suite for the collection pipeline, fleet tier and live analytics, under -race
+	$(GO) test -race -run 'TestFault' -count=1 ./internal/telemetry/... ./internal/fleet/... ./internal/livestats/...
 
 bench: ## runner engine benchmarks; writes BENCH_runner.json (ns/op, cache hit rate)
 	HOMESIGHT_BENCH_JSON=BENCH_runner.json $(GO) test -run TestBenchRunnerJSON -count=1 .
@@ -48,15 +48,20 @@ bench-query: ## concurrent-read query benchmarks (raw vs 8h rollup, cache hit ra
 bench-fleet: ## sharded-ingest throughput at 1/2/4 shards (scaling floor enforced on >=4-CPU hosts); writes BENCH_fleet.json
 	HOMESIGHT_BENCH_FLEET_JSON=$(abspath BENCH_fleet.json) $(GO) test -run TestBenchFleetJSON -count=1 -v ./internal/fleet
 
+bench-stream: ## livestats per-report cost (O(1) floor: deep-stream/early ratio) and snapshot latency; writes BENCH_stream.json
+	HOMESIGHT_BENCH_STREAM_JSON=$(abspath BENCH_stream.json) $(GO) test -run TestBenchStreamJSON -count=1 ./internal/livestats
+
 fuzz-smoke: ## short fuzz pass ($(FUZZTIME)/target) over the store codecs, WAL replay, and vet directive parser
 	$(GO) test -run NONE -fuzz '^FuzzBlockCodec$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzRollupCodec$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run NONE -fuzz '^FuzzDirectiveParser$$' -fuzztime $(FUZZTIME) ./internal/analysis
 	$(GO) test -run NONE -fuzz '^FuzzBatchFrame$$' -fuzztime $(FUZZTIME) ./internal/telemetry
+	$(GO) test -run NONE -fuzz '^FuzzQuantileSketch$$' -fuzztime $(FUZZTIME) ./internal/livestats
+	$(GO) test -run NONE -fuzz '^FuzzRankSketch$$' -fuzztime $(FUZZTIME) ./internal/livestats
 
 obs-smoke: ## start cmd/experiments with -debug-addr, curl /metrics + /healthz, grep required series
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
-check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-scaling bench-store bench-query bench-fleet fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + scaling floor + store bench + query bench + fleet bench + fuzz smoke + obs smoke
+check: vet race lint vet-fix-check vet-sarif test-faults bench-build bench-scaling bench-store bench-query bench-fleet bench-stream fuzz-smoke obs-smoke ## the full CI gate: vet + race tests + homesight-vet (baseline) + fix drift + SARIF artifact + fault suite + bench smoke + scaling floor + store bench + query bench + fleet bench + stream bench + fuzz smoke + obs smoke
 	@echo "check: all gates passed"

@@ -22,6 +22,14 @@
 // policy is selected by -fsync (interval, always, never). See
 // STORAGE.md.
 //
+// -live runs a livestats.Tracker on the ingest callback — the paper's
+// correlation, threshold and dominance definitions as O(1) online
+// operators — and serves GET /api/v1/homes/{gw}/live on -debug-addr
+// (with -data-dir the store-backed query routes mount alongside it).
+// -hold keeps a demo process, and with it the debug server, alive for
+// the given duration after the campaign so the live tier can be
+// inspected. See STREAMING.md.
+//
 // -shards N runs the fleet ingest tier instead of the single-process
 // collector: N batch-frame shard listeners, each owning a homestore
 // partition under <data-dir>/shard-NNNN/ (requires -data-dir). With
@@ -35,6 +43,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,8 +52,10 @@ import (
 
 	"homesight/internal/fleet"
 	"homesight/internal/gateway"
+	"homesight/internal/livestats"
 	"homesight/internal/obs"
 	"homesight/internal/obs/slogx"
+	"homesight/internal/query"
 	homestore "homesight/internal/store"
 	"homesight/internal/synth"
 	"homesight/internal/telemetry"
@@ -85,6 +96,10 @@ func main() {
 		"run the sharded fleet ingest tier with this many shards (requires -data-dir)")
 	routerTo := flag.String("router", "",
 		"demo: route the campaign to an external fleet, comma-separated name=addr pairs")
+	live := flag.Bool("live", false,
+		"maintain O(1) live analytics per home and serve /api/v1/homes/{gw}/live on -debug-addr")
+	hold := flag.Duration("hold", 0,
+		"demo: keep the process (and -debug-addr) up this long after the campaign completes")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -103,21 +118,41 @@ func main() {
 	streaming := &telemetry.StreamingMotifs{}
 
 	reg := obs.NewRegistry()
-	if *debugAddr != "" {
-		srv, err := obs.NewServer(*debugAddr, reg)
+	// The debug server starts once the serving mode has built its query
+	// surface: with -live the mode hands over an API handler and the
+	// server mounts it under /api/v1/ next to /metrics.
+	var debugSrv *obs.Server
+	defer func() {
+		if debugSrv != nil {
+			_ = debugSrv.Close() //homesight:ignore unchecked-close — best-effort shutdown at exit
+		}
+	}()
+	startDebug := func(api http.Handler) {
+		if *debugAddr == "" {
+			return
+		}
+		var opts []obs.ServerOption
+		if api != nil {
+			opts = append(opts, obs.WithHandler("/api/v1/", api))
+		}
+		srv, err := obs.NewServer(*debugAddr, reg, opts...)
 		if err != nil {
 			logger.Fatal("debug server failed", "addr", *debugAddr, "err", err)
 		}
-		defer func() { _ = srv.Close() }() //homesight:ignore unchecked-close — best-effort shutdown at exit
+		debugSrv = srv
 		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
 	if *routerTo != "" {
+		startDebug(nil)
 		routerDemo(logger, dep, *routerTo)
 		return
 	}
 	if *shards > 0 {
-		runFleet(logger, reg, dep, *shards, *addr, *dataDir, *fsync, *demo)
+		runFleet(logger, reg, dep, fleetOptions{
+			Shards: *shards, Addr: *addr, DataDir: *dataDir, Fsync: *fsync,
+			Demo: *demo, Live: *live, Hold: *hold, StartDebug: startDebug,
+		})
 		return
 	}
 
@@ -156,16 +191,49 @@ func main() {
 		logger.Info("store closed", "reports", st.Reports, "points", st.Points,
 			"segments", st.Segments, "compression", st.Compression)
 	}
+	var tracker *livestats.Tracker
+	if *live {
+		tracker = livestats.NewTracker(livestats.Config{
+			Start:   cfg.Start,
+			Seed:    *seed,
+			Metrics: livestats.NewMetrics(reg),
+		})
+		if persist != nil {
+			// Warm the live state from the recovered history so the /live
+			// answers pick up exactly where the last process left off; the
+			// tracker's watermarks make the replay idempotent against the
+			// reports about to stream in.
+			n, err := tracker.Rebuild(context.Background(), persist)
+			if err != nil {
+				logger.Fatal("live rebuild failed", "dir", *dataDir, "err", err)
+			}
+			logger.Info("live state rebuilt", "reports", n, "homes", len(tracker.Homes()))
+		}
+	}
 	switch {
-	case persist != nil:
+	case persist != nil || tracker != nil:
 		store.OnReport(func(rep gateway.Report) {
 			streaming.Feed(rep)
-			if err := persist.Append(rep); err != nil {
-				logger.Error("store append failed", "gateway", rep.GatewayID, "err", err)
+			if persist != nil {
+				if err := persist.Append(rep); err != nil {
+					logger.Error("store append failed", "gateway", rep.GatewayID, "err", err)
+				}
+			}
+			if tracker != nil {
+				tracker.OnReport(rep)
 			}
 		})
 	default:
 		store.OnReport(streaming.Feed)
+	}
+	if tracker != nil {
+		qcfg := query.Config{Live: tracker, Registry: reg}
+		if persist != nil {
+			qcfg.Store = persist
+		}
+		startDebug(query.New(qcfg).Handler())
+	} else {
+		startDebug(nil)
 	}
 
 	col, err := telemetry.NewCollectorConfig(*addr, store, telemetry.CollectorConfig{
@@ -251,6 +319,23 @@ func main() {
 		}
 		fmt.Printf("  motif %d: support %d across %d gateways\n", m.ID, m.Support(), len(m.Gateways()))
 	}
+	if tracker != nil {
+		ls := tracker.Stats()
+		fmt.Printf("live analytics: %d homes, %d devices, %d reports processed, %d stale rows\n",
+			ls.Homes, ls.Devices, ls.ReportsProcessed, ls.StaleRows)
+	}
+	holdOpen(logger, *hold)
+}
+
+// holdOpen keeps a demo process — and with it the debug server and its
+// /api/v1/ surface — alive after the campaign so the live tier can be
+// curled before exit.
+func holdOpen(logger *slogx.Logger, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	logger.Info("holding for inspection", "hold", d)
+	time.Sleep(d)
 }
 
 // writeMetrics emits the run's ingest accounting in the RunMetrics
@@ -272,37 +357,65 @@ func writeMetrics(path string, stats telemetry.IngestStats) error {
 	return f.Close()
 }
 
-// runFleet runs the sharded ingest tier: n batch-frame shards over
-// partitions under dataDir. In demo mode the synthetic campaign is
+// fleetOptions carries the flag surface of the fleet mode into runFleet.
+type fleetOptions struct {
+	Shards  int
+	Addr    string
+	DataDir string
+	Fsync   string
+	Demo    bool
+	Live    bool
+	Hold    time.Duration
+	// StartDebug boots the debug server once the fleet exists, mounting
+	// the query handler (the Fleet as LiveSource) when one is given.
+	StartDebug func(http.Handler)
+}
+
+// runFleet runs the sharded ingest tier: batch-frame shards over
+// partitions under the data dir. In demo mode the synthetic campaign is
 // routed through an in-process consistent-hash router and the run's
 // accounting printed; otherwise the shards serve until interrupted.
-func runFleet(logger *slogx.Logger, reg *obs.Registry, dep *synth.Deployment, n int, addr, dataDir, fsyncPolicy string, demo bool) {
-	if dataDir == "" {
+// With Live each shard runs its own tracker and the fleet serves the
+// union view through /api/v1/homes/{gw}/live on the debug server.
+func runFleet(logger *slogx.Logger, reg *obs.Registry, dep *synth.Deployment, opt fleetOptions) {
+	if opt.DataDir == "" {
 		logger.Fatal("bad flag", "flag", "shards", "err", fmt.Errorf("-shards requires -data-dir"))
 	}
-	policy, err := parseSyncPolicy(fsyncPolicy)
+	policy, err := parseSyncPolicy(opt.Fsync)
 	if err != nil {
 		logger.Fatal("bad flag", "flag", "fsync", "err", err)
 	}
 	cfg := dep.Config()
 	metrics := fleet.NewFleetMetrics(reg)
-	f, err := fleet.Start(fleet.Config{
-		Dir: dataDir, Shards: n, Addr: addr,
+	fcfg := fleet.Config{
+		Dir: opt.DataDir, Shards: opt.Shards, Addr: opt.Addr,
 		Start: cfg.Start, Step: time.Minute, Sync: policy, Metrics: metrics,
-	})
+	}
+	if opt.Live {
+		// Shard trackers keep their instruments private (per-shard gauges
+		// would fight over one registry); the shared registry still serves
+		// the fleet and query metrics.
+		fcfg.Live = &livestats.Config{}
+	}
+	f, err := fleet.Start(fcfg)
 	if err != nil {
-		logger.Fatal("fleet start failed", "dir", dataDir, "err", err)
+		logger.Fatal("fleet start failed", "dir", opt.DataDir, "err", err)
 	}
 	for _, sa := range f.Addrs() {
 		logger.Info("shard listening", "shard", sa.Name, "addr", sa.Addr)
 	}
+	if opt.Live {
+		opt.StartDebug(query.New(query.Config{Live: f, Registry: reg}).Handler())
+	} else {
+		opt.StartDebug(nil)
+	}
 
-	if !demo {
+	if !opt.Demo {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
-		logger.Info("shutting down fleet", "shards", n)
-		printShardStats(f, n)
+		logger.Info("shutting down fleet", "shards", opt.Shards)
+		printShardStats(f, opt.Shards)
 		if err := f.Close(); err != nil {
 			logger.Error("fleet close failed", "err", err)
 		}
@@ -315,7 +428,11 @@ func runFleet(logger *slogx.Logger, reg *obs.Registry, dep *synth.Deployment, n 
 	if err := f.Drain(); err != nil {
 		logger.Fatal("fleet drain failed", "err", err)
 	}
-	printShardStats(f, n)
+	printShardStats(f, opt.Shards)
+	if opt.Live {
+		fmt.Printf("live analytics: %d homes across the fleet\n", len(f.LiveHomes()))
+	}
+	holdOpen(logger, opt.Hold)
 }
 
 func printShardStats(f *fleet.Fleet, n int) {

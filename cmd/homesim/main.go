@@ -17,6 +17,13 @@
 // crash-stops one shard mid-campaign to demonstrate the rebalance +
 // catch-up-replay protocol (see FLEET.md); the accounting printed at
 // the end must still reconcile exactly.
+//
+// -live adds a livestats tracker to every shard, polls the fleet's
+// live view mid-campaign (the same snapshots cmd/collector serves as
+// /api/v1/homes/{gw}/live) and, after the drain, reconciles every
+// home's online answer against the batch pipeline recomputed over the
+// recovered partitions, printing the online-vs-offline deltas. Exceeding
+// the documented tolerances (STREAMING.md) is an error.
 package main
 
 import (
@@ -24,13 +31,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"homesight/internal/corrsim"
 	"homesight/internal/dataset"
+	"homesight/internal/dominance"
 	"homesight/internal/fleet"
 	"homesight/internal/gateway"
+	"homesight/internal/livestats"
 	"homesight/internal/obs"
 	"homesight/internal/obs/slogx"
 	"homesight/internal/store"
@@ -62,6 +74,7 @@ func main() {
 	survey := flag.Bool("survey", false, "include resident counts for the survey subset")
 	fleetN := flag.Int("fleet", 0, "run the sharded-ingest load campaign with this many shards instead of writing CSVs")
 	fleetKill := flag.Bool("fleet-kill", false, "fleet campaign: crash-stop one shard mid-load to exercise rebalance + replay")
+	liveStats := flag.Bool("live", false, "fleet campaign: run per-shard live analytics, poll them mid-load and reconcile against the batch pipeline")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -74,7 +87,7 @@ func main() {
 	}
 
 	if *fleetN > 0 {
-		if err := runFleetCampaign(dep, *fleetN, filepath.Join(*out, "fleet"), *fleetKill); err != nil {
+		if err := runFleetCampaign(dep, *fleetN, filepath.Join(*out, "fleet"), *fleetKill, *liveStats); err != nil {
 			logger.Fatal("fleet campaign failed", "err", err)
 		}
 		return
@@ -125,15 +138,19 @@ func main() {
 // the router's rebalance + catch-up replay must absorb the loss, and
 // the printed accounting reconciles Sends, replays and reassignments
 // exactly (the TestFaultShardKill identity).
-func runFleetCampaign(dep *synth.Deployment, n int, dir string, kill bool) error {
+func runFleetCampaign(dep *synth.Deployment, n int, dir string, kill, live bool) error {
 	cfg := dep.Config()
 	metrics := fleet.NewFleetMetrics(obs.NewRegistry())
-	f, err := fleet.Start(fleet.Config{
+	fcfg := fleet.Config{
 		Dir: dir, Shards: n,
 		Start: cfg.Start, Step: time.Minute,
 		Sync: store.SyncAlways, // acked ⇒ durable, the kill drill's premise
 		Metrics: metrics,
-	})
+	}
+	if live {
+		fcfg.Live = &livestats.Config{}
+	}
+	f, err := fleet.Start(fcfg)
 	if err != nil {
 		return err
 	}
@@ -176,10 +193,26 @@ func runFleetCampaign(dep *synth.Deployment, n int, dir string, kill bool) error
 	ctx := context.Background()
 	start := time.Now()
 	sent := 0
+	// With -live the fleet view is polled at quarter marks — the same
+	// lookup the /live endpoint performs, here hitting the trackers
+	// directly since the shards are in-process.
+	pollAt := cfg.Minutes() / 4
+	if pollAt == 0 {
+		pollAt = 1
+	}
 	for m := 0; m < cfg.Minutes(); m++ {
 		if m == killAt {
 			fmt.Printf("fleet: killing shard-%04d at minute %d of %d\n", victim, m, cfg.Minutes())
 			f.Kill(victim)
+		}
+		if live && m > 0 && m%pollAt == 0 {
+			gw := dep.Home(0).ID
+			if snap, ok := f.LiveSnapshot(gw); ok {
+				fmt.Printf("live: minute %d %s: %d reports, %d devices, %d dominants\n",
+					m, gw, snap.Reports, len(snap.Devices), len(snap.Dominance().Dominants))
+			} else {
+				fmt.Printf("live: minute %d %s: no snapshot yet\n", m, gw)
+			}
 		}
 		for i := range emits {
 			rep := emits[i](m)
@@ -222,6 +255,106 @@ func runFleetCampaign(dep *synth.Deployment, n int, dir string, kill bool) error
 	}
 	fmt.Printf("accounting: %d routed = %d sent + %d replayed + %d reassigned ✓\n",
 		stats.ReportsRouted, sent, stats.ReplayedReports, stats.ReassignedReports)
+	if live {
+		return reconcileLive(f, dir)
+	}
+	return nil
+}
+
+// coeffDelta is |a-b| with the NaN/NaN degenerate case (both pipelines
+// agreeing a coefficient is undefined) counted as zero divergence.
+func coeffDelta(a, b float64) float64 {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return 0
+	}
+	return math.Abs(a - b)
+}
+
+// reconcileLive compares every home's final online snapshot against the
+// batch pipeline recomputed over the recovered partitions — the ground
+// truth the /live answers claim to track — and prints the worst deltas.
+// Divergence beyond the documented tolerances (Pearson is an exact
+// accumulator; the rank coefficients carry the reservoir's ±0.15
+// beyond RankCap, and the similarity gate — a maximum over all three —
+// inherits it; see STREAMING.md) is an error, so a -fleet-kill -live
+// run doubles as a reconciliation drill from the command line.
+func reconcileLive(f *fleet.Fleet, dir string) error {
+	ctx := context.Background()
+	dirs, err := fleet.LivePartitions(dir)
+	if err != nil {
+		return err
+	}
+	offline := make(map[string]*livestats.OfflineHome)
+	for _, d := range dirs {
+		st, err := store.Open(store.Config{Dir: d})
+		if err != nil {
+			return fmt.Errorf("reopening partition %s: %w", d, err)
+		}
+		for _, gw := range st.Gateways() {
+			off, err := livestats.Offline(ctx, st, gw, corrsim.Measure{}, dominance.DefaultPhi)
+			if err != nil {
+				_ = st.Close() //homesight:ignore unchecked-close — recompute error wins
+				return fmt.Errorf("offline recompute of %s: %w", gw, err)
+			}
+			offline[gw] = off
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	gws := make([]string, 0, len(offline))
+	for gw := range offline {
+		gws = append(gws, gw)
+	}
+	sort.Strings(gws)
+	var maxPearson, maxRank, maxSim float64
+	rows, domMismatches := 0, 0
+	for _, gw := range gws {
+		snap, ok := f.LiveSnapshot(gw)
+		if !ok {
+			return fmt.Errorf("%s: in the recovered history but not in any live tracker", gw)
+		}
+		off := offline[gw]
+		liveDoms := make(map[string]bool)
+		for _, d := range snap.Devices {
+			det, found := off.Details[d.Device.MAC]
+			if !found {
+				return fmt.Errorf("%s/%s: live device unknown to the batch pipeline", gw, d.Device.MAC)
+			}
+			rows++
+			maxPearson = math.Max(maxPearson, coeffDelta(d.Pearson.Coeff, det.Pearson.Coeff))
+			maxRank = math.Max(maxRank, coeffDelta(d.Spearman.Coeff, det.Spearman.Coeff))
+			maxRank = math.Max(maxRank, coeffDelta(d.Kendall.Coeff, det.Kendall.Coeff))
+			maxSim = math.Max(maxSim, coeffDelta(d.Similarity, det.Similarity))
+			if d.Dominant {
+				liveDoms[d.Device.MAC] = true
+			}
+		}
+		offDoms := make(map[string]bool)
+		for _, sc := range off.Dominance.Dominants {
+			offDoms[sc.Device.MAC] = true
+		}
+		if len(liveDoms) != len(offDoms) {
+			domMismatches++
+		} else {
+			for mac := range offDoms {
+				if !liveDoms[mac] {
+					domMismatches++
+					break
+				}
+			}
+		}
+	}
+	fmt.Printf("live reconcile: %d homes, %d device rows against the recovered partitions\n", len(gws), rows)
+	fmt.Printf("  max |Δ| online vs offline: pearson %.2e, rank %.3f, similarity %.2e\n", maxPearson, maxRank, maxSim)
+	fmt.Printf("  dominant-set mismatches: %d\n", domMismatches)
+	if maxPearson > 1e-6 {
+		return fmt.Errorf("exact pearson accumulator diverged: %v", maxPearson)
+	}
+	if maxRank > 0.15 || maxSim > 0.15 {
+		return fmt.Errorf("beyond the documented ±0.15 sketch tolerance: rank %v, similarity %v", maxRank, maxSim)
+	}
+	fmt.Println("  within documented tolerances ✓")
 	return nil
 }
 

@@ -14,9 +14,11 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"homesight/internal/gateway"
+	"homesight/internal/livestats"
 	"homesight/internal/obs"
 	"homesight/internal/store"
 	"homesight/internal/telemetry"
@@ -42,6 +44,10 @@ type Config struct {
 	Metrics *FleetMetrics
 	// Now is the clock handed to every shard; nil → time.Now.
 	Now func() time.Time
+	// Live, when set, runs a livestats.Tracker on every shard (see
+	// ShardConfig.Live); the Fleet then satisfies the query tier's
+	// LiveSource, fanning lookups out across the shards.
+	Live *livestats.Config
 }
 
 // Fleet is a set of in-process shards sharing one root directory — the
@@ -78,6 +84,7 @@ func Start(cfg Config) (*Fleet, error) {
 			Sync:    cfg.Sync,
 			Metrics: cfg.Metrics,
 			Now:     cfg.Now,
+			Live:    cfg.Live,
 		})
 		if err != nil {
 			f.closeAll()
@@ -127,6 +134,53 @@ func (f *Fleet) ReplayFunc() ReplayFunc {
 		}
 		return RetirePartition(dir)
 	}
+}
+
+// LiveHomes returns every gateway with live state anywhere in the
+// fleet, sorted — the LiveSource view over all shard trackers.
+func (f *Fleet) LiveHomes() []string {
+	seen := make(map[string]bool)
+	for _, s := range f.shards {
+		if s.tracker == nil {
+			continue
+		}
+		for _, gw := range s.tracker.Homes() {
+			seen[gw] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for gw := range seen {
+		out = append(out, gw)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LiveSnapshot returns the live analysis of one home from the shard
+// that owns it. Open shards win: after a kill + catch-up replay both
+// the dead shard's tracker (stale, frozen at the crash) and the
+// survivor's (complete, rebuilt through replay) know the gateway, and
+// the survivor is the one still serving. With every shard closed
+// (post-Drain inspection) the deepest snapshot — most reports consumed
+// — is the authoritative one.
+func (f *Fleet) LiveSnapshot(gw string) (*livestats.HomeSnapshot, bool) {
+	var fallback *livestats.HomeSnapshot
+	for _, s := range f.shards {
+		if s.tracker == nil {
+			continue
+		}
+		snap, ok := s.tracker.Snapshot(gw)
+		if !ok {
+			continue
+		}
+		if s.open() {
+			return snap, true
+		}
+		if fallback == nil || snap.Reports > fallback.Reports {
+			fallback = snap
+		}
+	}
+	return fallback, fallback != nil
 }
 
 // Drain gracefully stops every still-running shard: each finishes

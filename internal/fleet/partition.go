@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"time"
 
 	"homesight/internal/gateway"
 	"homesight/internal/store"
@@ -78,7 +77,9 @@ func ReplayPartition(dir string, send func(gateway.Report) error) (int, error) {
 	sent := 0
 	ctx := context.Background()
 	for _, gw := range st.Gateways() {
-		reps, err := reconstructReports(ctx, st, gw)
+		// The regroup-and-sort lives on the store itself
+		// (Store.ReconstructReports) so the livestats rebuild shares it.
+		reps, err := st.ReconstructReports(ctx, gw)
 		if err != nil {
 			return sent, err
 		}
@@ -90,63 +91,4 @@ func ReplayPartition(dir string, send func(gateway.Report) error) (int, error) {
 		}
 	}
 	return sent, nil
-}
-
-// reconstructReports rebuilds one gateway's reports from its raw stored
-// series: points sharing a timestamp regroup into one report, ascending
-// by timestamp.
-func reconstructReports(ctx context.Context, st *store.Store, gw string) ([]gateway.Report, error) {
-	type devCounters struct {
-		rx, tx uint64
-	}
-	byTs := make(map[int64]map[string]devCounters)
-	for _, mac := range st.Devices(gw) {
-		for _, dir := range []store.Direction{store.DirIn, store.DirOut} {
-			res, err := st.Query(ctx, store.QueryRequest{
-				Key: store.Key{Gateway: gw, Device: mac, Dir: dir},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fleet: replaying %s/%s: %w", gw, mac, err)
-			}
-			for _, pt := range res.Points {
-				devs := byTs[pt.Ts]
-				if devs == nil {
-					devs = make(map[string]devCounters)
-					byTs[pt.Ts] = devs
-				}
-				dc := devs[mac]
-				if dir == store.DirIn {
-					dc.rx = pt.Val
-				} else {
-					dc.tx = pt.Val
-				}
-				devs[mac] = dc
-			}
-		}
-	}
-	tss := make([]int64, 0, len(byTs))
-	for ts := range byTs {
-		tss = append(tss, ts)
-	}
-	sort.Slice(tss, func(a, b int) bool { return tss[a] < tss[b] })
-	reps := make([]gateway.Report, 0, len(tss))
-	for _, ts := range tss {
-		devs := byTs[ts]
-		macs := make([]string, 0, len(devs))
-		for mac := range devs {
-			macs = append(macs, mac)
-		}
-		sort.Strings(macs)
-		rep := gateway.Report{GatewayID: gw, Timestamp: time.Unix(ts, 0).UTC()}
-		for _, mac := range macs {
-			rep.Devices = append(rep.Devices, gateway.DeviceCounters{
-				MAC:     mac,
-				Name:    st.DeviceName(gw, mac),
-				RxBytes: devs[mac].rx,
-				TxBytes: devs[mac].tx,
-			})
-		}
-		reps = append(reps, rep)
-	}
-	return reps, nil
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"homesight/internal/gateway"
+	"homesight/internal/livestats"
 	"homesight/internal/obs"
 	"homesight/internal/store"
 	"homesight/internal/telemetry"
@@ -47,6 +49,15 @@ type ShardConfig struct {
 	// Now is the clock behind read deadlines and ingest latency; nil →
 	// time.Now.
 	Now func() time.Time
+	// Live, when set, runs a livestats.Tracker behind the shard's ingest
+	// path: every appended report also advances the tracker, and on
+	// start the tracker rebuilds from the partition's durable history,
+	// so snapshots survive a shard restart (and, via catch-up replay
+	// into a survivor, a shard kill). Start and Step are taken from the
+	// shard, not from Live. Like the shard's embedded store, the tracker
+	// keeps its instruments on a private registry — per-shard gauges
+	// would fight on a shared one — so leave Live.Metrics nil here.
+	Live *livestats.Config
 
 	// onFrame, when set, observes every decoded frame's report count
 	// and append duration. Test-only: the fleet benchmark measures
@@ -105,6 +116,7 @@ type shardCounters struct {
 type Shard struct {
 	cfg     ShardConfig
 	store   *store.Store
+	tracker *livestats.Tracker // nil when live analytics are off
 	ln      net.Listener
 	reports *obs.Counter // metrics.ShardReports.With(name), bound once
 	batches *obs.Counter
@@ -134,16 +146,31 @@ func StartShard(cfg ShardConfig) (*Shard, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tracker *livestats.Tracker
+	if cfg.Live != nil {
+		lc := *cfg.Live
+		lc.Start, lc.Step = cfg.Start, cfg.Step
+		lc.Metrics = nil
+		tracker = livestats.NewTracker(lc)
+		// Warm the tracker from the partition's recovered history: its
+		// per-device watermarks end up mirroring the store's, so live
+		// redelivery after the rebuild dedups exactly as the WAL does.
+		if _, err := tracker.Rebuild(context.Background(), st); err != nil {
+			_ = st.Close() //homesight:ignore unchecked-close — rebuild failed; the store holds nothing new
+			return nil, fmt.Errorf("fleet: rebuilding live state for %s: %w", cfg.Name, err)
+		}
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		_ = st.Close() //homesight:ignore unchecked-close — listen failed; the store holds nothing new
 		return nil, err
 	}
 	s := &Shard{
-		cfg:   cfg,
-		store: st,
-		ln:    ln,
-		conns: make(map[net.Conn]bool),
+		cfg:     cfg,
+		store:   st,
+		tracker: tracker,
+		ln:      ln,
+		conns:   make(map[net.Conn]bool),
 		// Bind the per-shard series now so they render at 0 from the
 		// first scrape, before any report arrives.
 		reports: cfg.Metrics.ShardReports.With(cfg.Name),
@@ -252,6 +279,11 @@ func (s *Shard) ingestBatch(reps []gateway.Report) {
 			s.counters.appendErrors.Add(1)
 			continue
 		}
+		if s.tracker != nil {
+			// Only appended reports advance the live state, so the
+			// tracker never gets ahead of the partition it rebuilds from.
+			s.tracker.OnReport(rep)
+		}
 		s.counters.reportsAppended.Add(1)
 		s.reports.Inc()
 	}
@@ -267,6 +299,18 @@ func (s *Shard) ingestBatch(reps []gateway.Report) {
 // Watermarks exposes the partition's per-series high-water timestamps —
 // the cursors that make handoff replay idempotent.
 func (s *Shard) Watermarks() map[store.Key]int64 { return s.store.Watermarks() }
+
+// LiveTracker returns the shard's live analytics tracker, nil when
+// ShardConfig.Live was not set. The tracker stays readable after the
+// shard closes (snapshots are memory, not sockets).
+func (s *Shard) LiveTracker() *livestats.Tracker { return s.tracker }
+
+// open reports whether the shard is still accepting connections.
+func (s *Shard) open() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
 
 // Drain stops accepting new connections, waits for the existing
 // handlers to read their streams to EOF, then closes the partition

@@ -1,0 +1,194 @@
+package livestats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"homesight/internal/stats"
+	"homesight/internal/stats/corr"
+)
+
+// fuzzVal maps a 2-byte code to an observation. Three reserved codes
+// exercise the non-finite paths; everything else lands on a grid with
+// negatives and fractions so ties, signs and interpolation all occur.
+func fuzzVal(u uint16) float64 {
+	switch u {
+	case 0xffff:
+		return math.NaN()
+	case 0xfffe:
+		return math.Inf(1)
+	case 0xfffd:
+		return math.Inf(-1)
+	}
+	return (float64(u) - 1000) / 16
+}
+
+// fuzzResultEq is bit-equality on corr.Result except that two NaN
+// coefficients (or p-values) count as equal.
+func fuzzResultEq(a, b corr.Result) bool {
+	num := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.N == b.N && num(a.Coeff, b.Coeff) && num(a.PValue, b.PValue)
+}
+
+// FuzzQuantileSketch pins the threshold operator against arbitrary
+// streams: observing never panics, non-finite values never enter the
+// sample, exact mode reproduces the batch quantiles and boxplot whisker
+// bit-for-bit, quantile queries stay monotone in p, and the whisker
+// stays within the observed range. Byte 0 sizes the buffer (so small
+// inputs still cross into sketch mode); the rest is a stream of 2-byte
+// value codes.
+func FuzzQuantileSketch(f *testing.F) {
+	f.Add([]byte{})
+	// A ramp that stays exact, with a NaN and both infinities mixed in.
+	exact := []byte{200}
+	for i := 0; i < 20; i++ {
+		exact = binary.BigEndian.AppendUint16(exact, uint16(i*37))
+	}
+	exact = binary.BigEndian.AppendUint16(exact, 0xffff)
+	exact = binary.BigEndian.AppendUint16(exact, 0xfffe)
+	exact = binary.BigEndian.AppendUint16(exact, 0xfffd)
+	f.Add(exact)
+	// A long bursty stream over a minimum-size buffer: collapses to P²
+	// markers.
+	burst := []byte{0}
+	for i := 0; i < 300; i++ {
+		v := uint16(i % 97)
+		if i%31 == 0 {
+			v = 40000 + uint16(i)
+		}
+		burst = binary.BigEndian.AppendUint16(burst, v)
+	}
+	f.Add(burst)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity := minQuantCap
+		if len(data) > 0 {
+			capacity += int(data[0])
+			data = data[1:]
+		}
+		q := NewQuantileSketch(capacity)
+		var finite []float64
+		for len(data) >= 2 {
+			v := fuzzVal(binary.BigEndian.Uint16(data))
+			data = data[2:]
+			q.Observe(v)
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				finite = append(finite, v)
+			}
+		}
+		if q.N() != int64(len(finite)) {
+			t.Fatalf("N = %d, want %d finite observations", q.N(), len(finite))
+		}
+		if len(finite) == 0 {
+			if w := q.Whisker(); w != 0 {
+				t.Fatalf("empty-sample whisker = %v, want 0", w)
+			}
+			return
+		}
+		if !q.Sketched() {
+			for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				if got, want := q.Quantile(p), stats.Quantile(finite, p); got != want {
+					t.Fatalf("exact Quantile(%v) = %v, want %v", p, got, want)
+				}
+			}
+			b, err := stats.NewBoxplot(finite, stats.DefaultWhiskerK)
+			if err != nil {
+				t.Fatalf("batch boxplot: %v", err)
+			}
+			if got := q.Whisker(); got != b.UpperWhisker {
+				t.Fatalf("exact whisker = %v, want batch %v", got, b.UpperWhisker)
+			}
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := q.Quantile(p)
+			if math.IsNaN(v) {
+				t.Fatalf("Quantile(%v) = NaN on a non-empty sample", p)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("Quantile(%v) = %v < previous %v", p, v, prev)
+			}
+			prev = v
+		}
+		if w := q.Whisker(); w > q.Max() {
+			t.Fatalf("whisker %v above observed max %v", w, q.Max())
+		}
+	})
+}
+
+// FuzzRankSketch pins the reservoir rank operator: observing never
+// panics, the sample never outgrows its capacity, exact mode (n ≤ cap)
+// reproduces the batch Spearman ρ and Kendall τ-b bit-for-bit, the
+// seeded reservoir is deterministic, and every coefficient is NaN or in
+// [-1, 1]. Bytes 0–1 pick the capacity and the seed; the rest is a
+// stream of (x, y) 2-byte code pairs.
+func FuzzRankSketch(f *testing.F) {
+	f.Add([]byte{})
+	// A correlated exact-mode stream with ties.
+	exact := []byte{200, 7}
+	for i := 0; i < 40; i++ {
+		exact = binary.BigEndian.AppendUint16(exact, uint16(i/3))
+		exact = binary.BigEndian.AppendUint16(exact, uint16(i))
+	}
+	f.Add(exact)
+	// A stream that overflows a minimum-size reservoir.
+	over := []byte{0, 42}
+	for i := 0; i < 64; i++ {
+		over = binary.BigEndian.AppendUint16(over, uint16(i*91%4093))
+		over = binary.BigEndian.AppendUint16(over, uint16(i*57%2039))
+	}
+	f.Add(over)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity, seed := minRankCap, int64(0)
+		if len(data) > 0 {
+			capacity += int(data[0])
+			data = data[1:]
+		}
+		if len(data) > 0 {
+			seed = int64(data[0])
+			data = data[1:]
+		}
+		rs := NewRankSketch(capacity, seed)
+		again := NewRankSketch(capacity, seed)
+		var xs, ys []float64
+		for len(data) >= 4 {
+			x := fuzzVal(binary.BigEndian.Uint16(data))
+			y := fuzzVal(binary.BigEndian.Uint16(data[2:]))
+			data = data[4:]
+			rs.Observe(x, y)
+			again.Observe(x, y)
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		if rs.N() != int64(len(xs)) {
+			t.Fatalf("N = %d, want %d", rs.N(), len(xs))
+		}
+		if len(rs.xs) > rs.cap || len(rs.ys) != len(rs.xs) {
+			t.Fatalf("reservoir %d/%d pairs over capacity %d", len(rs.xs), len(rs.ys), rs.cap)
+		}
+		if rs.Sampled() != (len(xs) > rs.cap) {
+			t.Fatalf("Sampled() = %v with n %d, cap %d", rs.Sampled(), len(xs), rs.cap)
+		}
+		for _, res := range []corr.Result{rs.Spearman(), rs.Kendall()} {
+			if !math.IsNaN(res.Coeff) && (res.Coeff < -1 || res.Coeff > 1) {
+				t.Fatalf("coefficient %v outside [-1, 1]", res.Coeff)
+			}
+		}
+		if gotS, gotK := again.Spearman(), again.Kendall(); !fuzzResultEq(gotS, rs.Spearman()) || !fuzzResultEq(gotK, rs.Kendall()) {
+			t.Fatalf("same stream, same seed diverged: %+v/%+v vs %+v/%+v",
+				rs.Spearman(), rs.Kendall(), gotS, gotK)
+		}
+		if !rs.Sampled() && len(xs) >= 3 {
+			wantS, _ := corr.Spearman(xs, ys)
+			wantK, _ := corr.Kendall(xs, ys)
+			if got := rs.Spearman(); !fuzzResultEq(got, wantS) {
+				t.Fatalf("exact Spearman = %+v, want %+v", got, wantS)
+			}
+			if got := rs.Kendall(); !fuzzResultEq(got, wantK) {
+				t.Fatalf("exact Kendall = %+v, want %+v", got, wantK)
+			}
+		}
+	})
+}

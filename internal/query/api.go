@@ -22,8 +22,13 @@ const defaultCacheEntries = 128
 
 // Config configures New.
 type Config struct {
-	// Store is the open homestore the API serves. Required.
+	// Store is the open homestore the API serves. Optional when Live is
+	// set (a live-only tier, e.g. a fleet frontend without a local
+	// partition); the store-backed routes are then not registered.
 	Store *store.Store
+	// Live serves /api/v1/homes/{gw}/live from livestats snapshots.
+	// Optional; nil leaves the live route unregistered.
+	Live LiveSource
 	// Registry receives the homesight_query_* instruments; nil gets a
 	// private registry (counting stays on, nothing is exported).
 	Registry *obs.Registry
@@ -39,16 +44,18 @@ type Config struct {
 // obs.WithHandler, or on any mux.
 type API struct {
 	st    *store.Store
+	live  LiveSource
 	m     *metrics
 	cache *cache
 	now   func() time.Time
 }
 
-// New builds the API. It panics on a nil Store: there is nothing to
-// serve, and the caller bug should surface at wiring time.
+// New builds the API. It panics when both Store and Live are nil:
+// there is nothing to serve, and the caller bug should surface at
+// wiring time.
 func New(cfg Config) *API {
-	if cfg.Store == nil {
-		panic("query: Config.Store is required")
+	if cfg.Store == nil && cfg.Live == nil {
+		panic("query: one of Config.Store or Config.Live is required")
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
@@ -62,6 +69,7 @@ func New(cfg Config) *API {
 	}
 	return &API{
 		st:    cfg.Store,
+		live:  cfg.Live,
 		m:     newMetrics(cfg.Registry),
 		cache: newCache(entries),
 		now:   cfg.Now,
@@ -70,12 +78,19 @@ func New(cfg Config) *API {
 
 // Handler returns the API mux. Every route is GET-only (the store is
 // append-only through the collector; this tier never writes).
+// Store-backed routes appear only with a Store; the live route only
+// with a LiveSource.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /api/v1/homes", a.endpoint("homes", (*API).handleHomes))
-	mux.Handle("GET /api/v1/homes/{gw}/devices", a.endpoint("devices", (*API).handleDevices))
-	mux.Handle("GET /api/v1/homes/{gw}/summary", a.endpoint("summary", (*API).handleSummary))
-	mux.Handle("GET /api/v1/series", a.endpoint("series", (*API).handleSeries))
+	if a.st != nil {
+		mux.Handle("GET /api/v1/homes", a.endpoint("homes", (*API).handleHomes))
+		mux.Handle("GET /api/v1/homes/{gw}/devices", a.endpoint("devices", (*API).handleDevices))
+		mux.Handle("GET /api/v1/homes/{gw}/summary", a.endpoint("summary", (*API).handleSummary))
+		mux.Handle("GET /api/v1/series", a.endpoint("series", (*API).handleSeries))
+	}
+	if a.live != nil {
+		mux.Handle("GET /api/v1/homes/{gw}/live", a.endpoint("live", (*API).handleLive))
+	}
 	return mux
 }
 

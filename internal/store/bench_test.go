@@ -59,6 +59,8 @@ func BenchmarkStoreAppend(b *testing.B) { benchAppend(b, 1) }
 // BenchmarkStoreAppendWide appends realistic 16-device reports.
 func BenchmarkStoreAppendWide(b *testing.B) { benchAppend(b, 16) }
 
+// BenchmarkStoreSelect measures the merged-read core behind Query
+// (segments + memtable, streaming iteration, no result slice).
 func BenchmarkStoreSelect(b *testing.B) {
 	s, err := Open(Config{Dir: b.TempDir(), Start: testStart})
 	if err != nil {
@@ -85,7 +87,7 @@ func BenchmarkStoreSelect(b *testing.B) {
 	points := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it := s.Select(key, day, day.Add(24*time.Hour))
+		it := s.iter(key, day.Unix(), day.Add(24*time.Hour).Unix())
 		for it.Next() {
 			points++
 		}
@@ -162,7 +164,7 @@ func TestBenchStoreJSON(t *testing.T) {
 	var selected int
 	start = time.Now()
 	for i := 0; i < selectN; i++ {
-		it := s.Select(selKey, day, day.Add(24*time.Hour))
+		it := s.iter(selKey, day.Unix(), day.Add(24*time.Hour).Unix())
 		for it.Next() {
 			selected++
 		}

@@ -44,10 +44,7 @@ func TestExportRoundTrip(t *testing.T) {
 			t.Fatalf("gateway %s came back with no devices", g.ID)
 		}
 		for _, dr := range g.Devices {
-			in, outS, err := s.DeviceSeries(g.ID, dr.Device.MAC, n)
-			if err != nil {
-				t.Fatal(err)
-			}
+			in, outS := reconstructSeries(t, s, g.ID, dr.Device.MAC, n)
 			if in == nil {
 				t.Fatalf("exported device %s/%s unknown to the store", g.ID, dr.Device.MAC)
 			}

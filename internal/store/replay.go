@@ -1,0 +1,74 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"homesight/internal/gateway"
+)
+
+// ReconstructReports rebuilds one gateway's report stream from its raw
+// stored series: points sharing a timestamp regroup into one report,
+// ascending by timestamp, device names riding along from the store's
+// name map. The per-series ascending order makes the stream safe to
+// replay into any watermark-guarded consumer (a fleet partition, a
+// live tracker): each point lands above the receiver's cursor or is
+// dropped as a duplicate, never reordered. Both the fleet's catch-up
+// replay and the livestats rebuild are built on this.
+func (s *Store) ReconstructReports(ctx context.Context, gw string) ([]gateway.Report, error) {
+	type devCounters struct {
+		rx, tx uint64
+	}
+	byTs := make(map[int64]map[string]devCounters)
+	for _, mac := range s.Devices(gw) {
+		for _, dir := range []Direction{DirIn, DirOut} {
+			res, err := s.Query(ctx, QueryRequest{
+				Key: Key{Gateway: gw, Device: mac, Dir: dir},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("store: reconstructing %s/%s: %w", gw, mac, err)
+			}
+			for _, pt := range res.Points {
+				devs := byTs[pt.Ts]
+				if devs == nil {
+					devs = make(map[string]devCounters)
+					byTs[pt.Ts] = devs
+				}
+				dc := devs[mac]
+				if dir == DirIn {
+					dc.rx = pt.Val
+				} else {
+					dc.tx = pt.Val
+				}
+				devs[mac] = dc
+			}
+		}
+	}
+	tss := make([]int64, 0, len(byTs))
+	for ts := range byTs {
+		tss = append(tss, ts)
+	}
+	sort.Slice(tss, func(a, b int) bool { return tss[a] < tss[b] })
+	reps := make([]gateway.Report, 0, len(tss))
+	for _, ts := range tss {
+		devs := byTs[ts]
+		macs := make([]string, 0, len(devs))
+		for mac := range devs {
+			macs = append(macs, mac)
+		}
+		sort.Strings(macs)
+		rep := gateway.Report{GatewayID: gw, Timestamp: time.Unix(ts, 0).UTC()}
+		for _, mac := range macs {
+			rep.Devices = append(rep.Devices, gateway.DeviceCounters{
+				MAC:     mac,
+				Name:    s.DeviceName(gw, mac),
+				RxBytes: devs[mac].rx,
+				TxBytes: devs[mac].tx,
+			})
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}

@@ -10,7 +10,7 @@
 //     flushes, using delta-of-delta timestamp + zigzag-varint value
 //     block encoding and a checksummed footer index for O(log n)
 //     range seeks (codec.go, segment.go);
-//   - an Append/Select API that merges memtable, WAL tail and segments
+//   - an Append/Query API that merges memtable, WAL tail and segments
 //     into one ordered, deduplicated stream;
 //   - registry-backed homesight_store_* metrics (metrics.go).
 //
@@ -31,7 +31,6 @@
 package store
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,7 +43,6 @@ import (
 
 	"homesight/internal/gateway"
 	"homesight/internal/obs"
-	"homesight/internal/timeseries"
 )
 
 // ErrClosed is returned by operations on a closed (or crashed) store.
@@ -70,10 +68,10 @@ const (
 type Config struct {
 	// Dir is the store directory, created if missing.
 	Dir string
-	// Start and Step anchor the minute grid for DeviceSeries
-	// reconstruction (defaults: 2014-03-17 UTC, one minute — the synth
-	// deployment anchor). A store directory remembers its anchor in
-	// meta.json; an existing anchor wins over the config.
+	// Start and Step anchor the minute grid for Reconstruct queries
+	// (defaults: 2014-03-17 UTC, one minute — the synth deployment
+	// anchor). A store directory remembers its anchor in meta.json; an
+	// existing anchor wins over the config.
 	Start time.Time
 	Step  time.Duration
 	// Sync is the WAL fsync policy; SyncEvery is the group-commit
@@ -843,11 +841,11 @@ func (s *Store) DeviceName(gatewayID, mac string) string {
 func (s *Store) Start() time.Time    { return s.cfg.Start }
 func (s *Store) Step() time.Duration { return s.cfg.Step }
 
-// Iterator streams the points of one series in ascending timestamp
+// iterator streams the points of one series in ascending timestamp
 // order. Next advances; At is valid until the next call to Next; Err
 // reports the first failure (a failed Next may mean exhaustion or
 // error — check Err).
-type Iterator struct {
+type iterator struct {
 	fromSec, toSec int64
 	blocks         []segBlock
 	tail           []Point
@@ -866,7 +864,7 @@ type segBlock struct {
 
 // Next advances to the next point, reporting false at the end of the
 // stream or on error.
-func (it *Iterator) Next() bool {
+func (it *iterator) Next() bool {
 	for {
 		for it.i < len(it.buf) {
 			p := it.buf[it.i]
@@ -907,27 +905,18 @@ func (it *Iterator) Next() bool {
 }
 
 // At returns the current point.
-func (it *Iterator) At() Point { return it.cur }
+func (it *iterator) At() Point { return it.cur }
 
 // Err returns the first error encountered.
-func (it *Iterator) Err() error { return it.err }
+func (it *iterator) Err() error { return it.err }
 
-// Select returns an iterator over one series restricted to timestamps
-// in [from, to).
-//
-// Deprecated: use Query with a GranRaw QueryRequest; Select remains as
-// a thin wrapper for callers that want streaming iteration.
-func (s *Store) Select(key Key, from, to time.Time) *Iterator {
-	return s.iter(key, from.Unix(), to.Unix())
-}
-
-// iter is the merged-read core behind Select and Query: segments
+// iter is the merged-read core behind Query: segments
 // (oldest first), then the frozen memtable, then the active one.
 // Per-series time ranges across those layers are disjoint by
 // construction (the watermark only moves forward), so the merge is an
 // ordered concatenation with a dedup guard.
-func (s *Store) iter(key Key, fromSec, toSec int64) *Iterator {
-	it := &Iterator{fromSec: fromSec, toSec: toSec}
+func (s *Store) iter(key Key, fromSec, toSec int64) *iterator {
+	it := &iterator{fromSec: fromSec, toSec: toSec}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, seg := range s.segs {
@@ -952,56 +941,6 @@ func rangeOf(pts []Point, fromSec, toSec int64) []Point {
 	lo := sort.Search(len(pts), func(i int) bool { return pts[i].Ts >= fromSec })
 	hi := sort.Search(len(pts), func(i int) bool { return pts[i].Ts >= toSec })
 	return pts[lo:hi]
-}
-
-// SelectAll returns an iterator over a series' full stored range.
-//
-// Deprecated: use Query with a zero From/To (campaign defaulting).
-func (s *Store) SelectAll(key Key) *Iterator {
-	return s.iter(key, math.MinInt64/2, math.MaxInt64/2)
-}
-
-// DeviceSeries reconstructs a device's per-minute in/out series from
-// the stored cumulative counters, padded to n samples (0 keeps the
-// natural length: one past the device's last stored sample). It returns
-// nils for an unknown device.
-//
-// Deprecated: use Query with Reconstruct (one call per direction); the
-// reconstruction semantics — wrap-aware differencing through
-// gateway.Meter, meter reset across reporting gaps, NaN for unobserved
-// minutes — live there now.
-func (s *Store) DeviceSeries(gatewayID, mac string, n int) (in, out *timeseries.Series, err error) {
-	var ser [2]*timeseries.Series
-	maxLen := 0
-	for dir := 0; dir < 2; dir++ {
-		res, err := s.Query(context.Background(), QueryRequest{
-			Key:         Key{Gateway: gatewayID, Device: mac, Dir: Direction(dir)},
-			Reconstruct: true,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		ser[dir] = res.Series
-		if res.LastIndex+1 > maxLen {
-			maxLen = res.LastIndex + 1
-		}
-	}
-	if maxLen == 0 {
-		return nil, nil, nil
-	}
-	if n <= 0 {
-		n = maxLen
-	}
-	var vals [2][]float64
-	for dir := 0; dir < 2; dir++ {
-		vals[dir] = ser[dir].Values
-		for len(vals[dir]) < n {
-			vals[dir] = append(vals[dir], math.NaN())
-		}
-		vals[dir] = vals[dir][:n]
-	}
-	return timeseries.New(s.cfg.Start, s.cfg.Step, vals[0]),
-		timeseries.New(s.cfg.Start, s.cfg.Step, vals[1]), nil
 }
 
 // Compact flushes the memtable and rewrites all segments into one,

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"homesight/internal/gateway"
 	"homesight/internal/obs"
 	"homesight/internal/synth"
+	"homesight/internal/timeseries"
 )
 
 var testStart = time.Date(2014, 3, 17, 0, 0, 0, 0, time.UTC)
@@ -63,16 +65,45 @@ func expectedPoints(reps []gateway.Report) map[Key][]Point {
 	return want
 }
 
-func collect(t *testing.T, it *Iterator) []Point {
+// reconstructSeries rebuilds a device's per-minute in/out delta series
+// with one Reconstruct query per direction, padded to n samples with
+// NaN. Nil results mean the device is unknown to the store.
+func reconstructSeries(t *testing.T, s *Store, gw, mac string, n int) (in, out *timeseries.Series) {
 	t.Helper()
-	var out []Point
-	for it.Next() {
-		out = append(out, it.At())
+	var ser [2]*timeseries.Series
+	known := false
+	for dir := 0; dir < 2; dir++ {
+		res, err := s.Query(context.Background(), QueryRequest{
+			Key:         Key{Gateway: gw, Device: mac, Dir: Direction(dir)},
+			Reconstruct: true,
+		})
+		if err != nil {
+			t.Fatalf("reconstruct %s/%s dir %d: %v", gw, mac, dir, err)
+		}
+		if res.LastIndex >= 0 {
+			known = true
+		}
+		vals := append([]float64(nil), res.Series.Values...)
+		for len(vals) < n {
+			vals = append(vals, math.NaN())
+		}
+		ser[dir] = timeseries.New(s.Start(), s.Step(), vals[:n])
 	}
-	if err := it.Err(); err != nil {
-		t.Fatalf("iterator: %v", err)
+	if !known {
+		return nil, nil
 	}
-	return out
+	return ser[0], ser[1]
+}
+
+// queryPoints reads one series' raw points through the Query API; zero
+// from/to default to the whole campaign.
+func queryPoints(t *testing.T, s *Store, k Key, from, to time.Time) []Point {
+	t.Helper()
+	res, err := s.Query(context.Background(), QueryRequest{Key: k, From: from, To: to})
+	if err != nil {
+		t.Fatalf("query %v: %v", k, err)
+	}
+	return res.Points
 }
 
 // verifyContents checks that every expected series is stored exactly,
@@ -80,14 +111,14 @@ func collect(t *testing.T, it *Iterator) []Point {
 func verifyContents(t *testing.T, s *Store, want map[Key][]Point) {
 	t.Helper()
 	for k, pts := range want {
-		got := collect(t, s.SelectAll(k))
+		got := queryPoints(t, s, k, time.Time{}, time.Time{})
 		if !pointsEqual(pts, got) {
 			t.Fatalf("%v: stored stream differs: %d points vs %d expected", k, len(got), len(pts))
 		}
 	}
 }
 
-func TestStoreAppendSelect(t *testing.T) {
+func TestStoreAppendQuery(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(Config{Dir: dir, Start: testStart, FlushPoints: 300, BlockPoints: 64})
 	if err != nil {
@@ -105,10 +136,10 @@ func TestStoreAppendSelect(t *testing.T) {
 	want := expectedPoints(reps)
 	verifyContents(t, s, want)
 
-	// Range select: a two-hour window mid-campaign.
+	// Range query: a two-hour window mid-campaign.
 	k := Key{Gateway: "gw001", Device: deviceMAC(1), Dir: DirIn}
 	from, to := testStart.Add(60*time.Minute), testStart.Add(180*time.Minute)
-	got := collect(t, s.Select(k, from, to))
+	got := queryPoints(t, s, k, from, to)
 	var wantRange []Point
 	for _, p := range want[k] {
 		if p.Ts >= from.Unix() && p.Ts < to.Unix() {
@@ -356,10 +387,7 @@ func TestDeviceSeriesMatchesRecorder(t *testing.T) {
 	for d := 0; d < 3; d++ {
 		mac := deviceMAC(d)
 		wantIn, wantOut := rec.Series(mac, 300)
-		gotIn, gotOut, err := s.DeviceSeries("gw001", mac, 300)
-		if err != nil {
-			t.Fatal(err)
-		}
+		gotIn, gotOut := reconstructSeries(t, s, "gw001", mac, 300)
 		if gotIn == nil {
 			t.Fatalf("device %s: no stored series", mac)
 		}

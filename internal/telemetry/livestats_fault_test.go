@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"homesight/internal/gateway"
+	"homesight/internal/livestats"
+	"homesight/internal/stats/corr"
+	"homesight/internal/telemetry/faultnet"
+)
+
+// buildLiveReports emits a three-device campaign with distinct shapes:
+// a dominant streamer, a correlated-but-smaller phone and a constant
+// chatterer (degenerate coefficients ride through the whole pipeline).
+func buildLiveReports(gatewayID string, minutes int) []gateway.Report {
+	em := gateway.NewEmitter(gatewayID)
+	reps := make([]gateway.Report, 0, minutes)
+	for m := 0; m < minutes; m++ {
+		ts := mon.Add(time.Duration(m) * time.Minute)
+		traffic := float64(100 + m%60)
+		if h := m / 60 % 24; h >= 19 && h < 23 {
+			traffic *= 1000
+		}
+		reps = append(reps, em.Emit(ts, []gateway.DeviceMinute{
+			{MAC: "m1", Name: "tv", InBytes: traffic, OutBytes: traffic / 10},
+			{MAC: "m2", Name: "phone", InBytes: traffic / 3, OutBytes: traffic / 30},
+			{MAC: "m3", Name: "sensor", InBytes: 40, OutBytes: 4},
+		}))
+	}
+	return reps
+}
+
+// liveResultEq is bit-equality on corr.Result with NaN == NaN.
+func liveResultEq(a, b corr.Result) bool {
+	num := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	return a.N == b.N && num(a.Coeff, b.Coeff) && num(a.PValue, b.PValue)
+}
+
+// assertSnapshotsEqual demands exact operator-state equality: the two
+// trackers consumed the same logical stream, so every accumulator —
+// co-moments, reservoirs, quantile buffers — must agree bit-for-bit.
+func assertSnapshotsEqual(t *testing.T, got, want *livestats.HomeSnapshot) {
+	t.Helper()
+	if got.Reports != want.Reports || got.Minutes != want.Minutes {
+		t.Errorf("header: got %d reports/%d minutes, want %d/%d",
+			got.Reports, want.Reports, got.Minutes, want.Minutes)
+	}
+	if len(got.Devices) != len(want.Devices) {
+		t.Fatalf("%d devices, want %d", len(got.Devices), len(want.Devices))
+	}
+	for i := range want.Devices {
+		g, w := got.Devices[i], want.Devices[i]
+		if g.Device.MAC != w.Device.MAC {
+			t.Fatalf("device %d: %s, want %s", i, g.Device.MAC, w.Device.MAC)
+		}
+		if g.Pairs != w.Pairs {
+			t.Errorf("%s: %d pairs, want %d", g.Device.MAC, g.Pairs, w.Pairs)
+		}
+		if !liveResultEq(g.Pearson, w.Pearson) || !liveResultEq(g.Spearman, w.Spearman) || !liveResultEq(g.Kendall, w.Kendall) {
+			t.Errorf("%s: coefficients diverged:\n got %+v %+v %+v\nwant %+v %+v %+v",
+				g.Device.MAC, g.Pearson, g.Spearman, g.Kendall, w.Pearson, w.Spearman, w.Kendall)
+		}
+		if g.Similarity != w.Similarity || g.Dominant != w.Dominant {
+			t.Errorf("%s: similarity %v/%v, want %v/%v", g.Device.MAC, g.Similarity, g.Dominant, w.Similarity, w.Dominant)
+		}
+		if g.Euclidean != w.Euclidean || g.Traffic != w.Traffic {
+			t.Errorf("%s: euclidean/traffic %v/%v, want %v/%v", g.Device.MAC, g.Euclidean, g.Traffic, w.Euclidean, w.Traffic)
+		}
+		if g.Threshold != w.Threshold || g.Tau != w.Tau {
+			t.Errorf("%s: threshold %+v τ %v, want %+v τ %v", g.Device.MAC, g.Threshold, g.Tau, w.Threshold, w.Tau)
+		}
+	}
+}
+
+// TestFaultLiveTrackerPipeline wires a livestats tracker into the real
+// TCP collector path (the shared OnReport callback, chained with the
+// streaming stage) and injects faultnet connection faults: garbage
+// lines, mid-report truncation, reconnect + resend-tail redelivery.
+// The tracker behind the faulted collector must land on exactly the
+// state of a tracker that watched the clean stream — zero well-formed
+// in-order reports lost, duplicates invisible.
+func TestFaultLiveTrackerPipeline(t *testing.T) {
+	const gw = "gw-live"
+	reps := buildLiveReports(gw, 720)
+
+	// Clean reference: the tracker alone, fed directly.
+	want := livestats.NewTracker(livestats.Config{Start: mon, Seed: 3})
+	for _, rep := range reps {
+		want.OnReport(rep)
+	}
+
+	// Faulted pipeline: reporter → faultnet → collector → store →
+	// OnReport chain (streaming motifs first, tracker second — the
+	// callback the stages share).
+	store := NewStore(mon, time.Minute)
+	sm := &StreamingMotifs{}
+	tr := livestats.NewTracker(livestats.Config{Start: mon, Seed: 3})
+	store.OnReport(func(rep gateway.Report) {
+		sm.Feed(rep)
+		tr.OnReport(rep)
+	})
+	col, err := NewCollectorConfig("127.0.0.1:0", store, CollectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := col.Addr()
+	rep, err := DialConfig(addr, ReporterConfig{
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   10 * time.Millisecond,
+		DialAttempts: 10,
+		Dial: func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.Wrap(raw, faultnet.Faults{
+				GarbageEvery:  41,
+				PartialWrites: []int{67},
+			}), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if err := rep.Send(r); err != nil {
+			t.Fatalf("send %v: %v", r.Timestamp, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rep.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	repStats := rep.Stats()
+	if err := rep.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wantConns := 1 + repStats.Reconnects
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := col.Stats()
+		if st.ConnsOpened == wantConns && st.ActiveConns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector served %d/%d conns (%d active)", st.ConnsOpened, wantConns, st.ActiveConns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := col.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	if repStats.Reconnects == 0 {
+		t.Fatal("fault plan fired no reconnects; the run was not faulted")
+	}
+	if got := tr.Stats().ReportsProcessed; got != int64(len(reps)) {
+		t.Fatalf("tracker processed %d reports, want %d (duplicates must be filtered upstream or at the watermark)", got, len(reps))
+	}
+
+	gotSnap, ok := tr.LiveSnapshot(gw)
+	if !ok {
+		t.Fatal("no live state for the campaign gateway")
+	}
+	wantSnap, ok := want.LiveSnapshot(gw)
+	if !ok {
+		t.Fatal("reference tracker lost its home")
+	}
+	assertSnapshotsEqual(t, gotSnap, wantSnap)
+
+	// The degenerate device (constant deltas) survives the trip as a
+	// NaN-coefficient row, never significant, never dominant.
+	var sensor *livestats.DeviceLive
+	for i := range gotSnap.Devices {
+		if gotSnap.Devices[i].Device.MAC == "m3" {
+			sensor = &gotSnap.Devices[i]
+		}
+	}
+	if sensor == nil {
+		t.Fatal("sensor row missing")
+	}
+	if !math.IsNaN(sensor.Pearson.Coeff) || sensor.Similarity != 0 || sensor.Dominant {
+		t.Errorf("constant device: %+v, want NaN coeff, similarity 0, not dominant", sensor)
+	}
+}

@@ -172,16 +172,31 @@ func TestCollectorPersistParity(t *testing.T) {
 	if err := rec.Verify(); err != nil {
 		t.Errorf("recovered store fails verify: %v", err)
 	}
-	in, out, err := rec.DeviceSeries(gw, "m1", n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if in == nil {
-		t.Fatal("device m1 lost in recovery")
-	}
+	// Reconstruct the device through the Query API, one direction at a
+	// time, padded to the acknowledged length.
 	got := make([]float64, n)
-	for m := 0; m < n; m++ {
-		got[m] = in.Values[m] + out.Values[m]
+	for dir := 0; dir < 2; dir++ {
+		res, err := rec.Query(context.Background(), store.QueryRequest{
+			Key:         store.Key{Gateway: gw, Device: "m1", Dir: store.Direction(dir)},
+			Reconstruct: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LastIndex < 0 {
+			t.Fatal("device m1 lost in recovery")
+		}
+		for m := 0; m < n; m++ {
+			v := math.NaN()
+			if m < len(res.Series.Values) {
+				v = res.Series.Values[m]
+			}
+			if dir == 0 {
+				got[m] = v
+			} else {
+				got[m] += v
+			}
+		}
 	}
 	if i := sameSeries(live, got); i >= 0 {
 		t.Fatalf("minute %d: recovered %g != acknowledged %g", i, got[i], live[i])

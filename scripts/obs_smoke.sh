@@ -9,10 +9,12 @@
 # homesight_store_* families reach the same surface, then `homestore
 # serve` on the collector's store to verify the query tier: one
 # /api/v1/* endpoint answering the versioned envelope and the
-# homesight_query_* families on /metrics. Finally boots the collector
+# homesight_query_* families on /metrics. Then boots the collector
 # again in fleet mode (-shards 2) to verify the homesight_fleet_*
-# families register the moment the shards start. Wired into
-# `make check` via the obs-smoke target.
+# families register the moment the shards start. Finally runs a demo
+# collector with -live and curls /api/v1/homes/{gw}/live plus the
+# homesight_live_* families — the streaming analytics tier end to end.
+# Wired into `make check` via the obs-smoke target.
 #
 # Exits non-zero (and prints the captured log) on any missing endpoint
 # or metric, so a refactor that silently unregisters a family fails CI.
@@ -20,8 +22,8 @@ set -eu
 
 GO=${GO:-go}
 TMP=$(mktemp -d)
-PID= CPID= QPID= FPID=
-trap 'kill "$PID" "$CPID" "$QPID" "$FPID" 2>/dev/null || true; wait "$PID" "$CPID" "$QPID" "$FPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+PID= CPID= QPID= FPID= LPID=
+trap 'kill "$PID" "$CPID" "$QPID" "$FPID" "$LPID" 2>/dev/null || true; wait "$PID" "$CPID" "$QPID" "$FPID" "$LPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 # A tiny run (-run fig5 keeps it to one experiment) held open long
 # enough to scrape; -hold is the window, generous for slow CI machines.
@@ -223,4 +225,69 @@ grep -q 'homesight_fleet_shard_reports_total{shard="shard-0000"}' "$TMP/f-metric
 kill "$FPID" 2>/dev/null || true
 wait "$FPID" 2>/dev/null || true
 FPID=
-echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store+query+fleet), /api/v1 and pprof all served"
+
+# Live tier: a demo collector with -live feeds a livestats tracker off
+# the ingest callback and serves /api/v1/homes/{gw}/live on the debug
+# server; -hold keeps it up after the campaign so the snapshot can be
+# scraped. Synth gateway IDs are gw%03d, so gw000 always exists.
+$GO run ./cmd/collector -demo -homes 2 -weeks 1 -live \
+    -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -hold 60s \
+    >"$TMP/l-stdout" 2>"$TMP/l-stderr" &
+LPID=$!
+
+LADDR=
+i=0
+while [ $i -lt 150 ]; do
+    LADDR=$(sed -n 's/.*msg="debug server listening".* addr=\([0-9.:]*\).*/\1/p' "$TMP/l-stderr" | head -n 1)
+    [ -n "$LADDR" ] && break
+    if ! kill -0 "$LPID" 2>/dev/null; then
+        echo "obs-smoke: live collector exited before serving" >&2
+        cat "$TMP/l-stderr" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+if [ -z "$LADDR" ]; then
+    echo "obs-smoke: live collector debug server never announced an address" >&2
+    cat "$TMP/l-stderr" >&2
+    exit 1
+fi
+
+lfail() {
+    echo "obs-smoke: $1" >&2
+    cat "$TMP/l-stderr" >&2
+    exit 1
+}
+
+# The route 404s until the campaign's first gw000 report lands on the
+# tracker; poll until the snapshot answers.
+i=0
+LIVE_OK=
+while [ $i -lt 150 ]; do
+    if curl -fsS --max-time 10 "http://$LADDR/api/v1/homes/gw000/live" >"$TMP/l-live" 2>/dev/null; then
+        LIVE_OK=1
+        break
+    fi
+    if ! kill -0 "$LPID" 2>/dev/null; then
+        lfail "live collector died before /live answered"
+    fi
+    i=$((i + 1))
+    sleep 0.2
+done
+[ -n "$LIVE_OK" ] || lfail "/api/v1/homes/gw000/live never answered"
+grep -q '"version":"v1"' "$TMP/l-live" || lfail "/live not wrapped in the v1 envelope"
+grep -q '"pearson"' "$TMP/l-live" || lfail "/live payload carries no operator state"
+
+curl -fsS --max-time 10 "http://$LADDR/metrics" >"$TMP/l-metrics" || lfail "live /metrics unreachable"
+for metric in \
+    homesight_live_reports_total \
+    homesight_live_homes \
+    homesight_live_update_seconds; do
+    grep -q "^# TYPE $metric " "$TMP/l-metrics" || lfail "live /metrics misses $metric"
+done
+
+kill "$LPID" 2>/dev/null || true
+wait "$LPID" 2>/dev/null || true
+LPID=
+echo "obs-smoke: /healthz, /metrics (ingest+runner+cache+store+query+fleet+live), /api/v1 and pprof all served"
